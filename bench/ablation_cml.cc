@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation (§5.1): CML buffers vs associativity. The paper argues
+ * that associative on-chip L2 caches are "an attractive alternative
+ * to the recently-proposed cache miss lookaside (CML) buffers
+ * [Bershad94], which detect and remove conflict misses only after
+ * they begin to affect performance." This bench runs both remedies
+ * on physically-indexed caches with random OS page placement:
+ *
+ *   - plain direct-mapped (the victim of bad placement),
+ *   - direct-mapped + CML buffer with dynamic page recoloring
+ *     (including the recolor/copy overhead),
+ *   - 2-way set-associative (the hardware fix).
+ */
+
+#include <iostream>
+
+#include "cache/cache.h"
+#include "sim/cml_sim.h"
+#include "sim/runner.h"
+#include "sim/tapeworm.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions(600000);
+    TextTable table("Ablation: CML buffer vs associativity "
+                    "(physically-indexed, random placement)");
+    table.setHeader({"workload", "cache", "DM CPIinstr",
+                     "DM+CML (incl. remap)", "recolors",
+                     "2-way CPIinstr"});
+
+    for (IbsBenchmark b : {IbsBenchmark::Verilog, IbsBenchmark::Gs,
+                           IbsBenchmark::Gcc}) {
+        const WorkloadSpec spec = makeIbs(b, OsType::Mach);
+        for (uint64_t kb : {16u, 32u, 64u}) {
+            CmlExperiment experiment;
+            experiment.cache =
+                CacheConfig{kb * 1024, 1, 32, Replacement::LRU};
+            experiment.instructions = n;
+            const CmlResult r = runCml(spec, experiment);
+
+            // The 2-way reference point via a one-trial Tapeworm run
+            // with the same instruction budget.
+            TapewormConfig tw;
+            tw.cache = CacheConfig{kb * 1024, 2, 32,
+                                   Replacement::LRU};
+            tw.trials = 1;
+            tw.instructions = n;
+            const TapewormResult assoc = runTapeworm(spec, tw);
+
+            table.addRow({
+                spec.name, std::to_string(kb) + "KB",
+                TextTable::num(r.cpiBaseline),
+                TextTable::num(r.cpiWithCml) + " (+" +
+                    TextTable::num(r.cpiRecolorOverhead) + ")",
+                TextTable::num(r.recolors),
+                TextTable::num(assoc.cpiInstr.mean()),
+            });
+        }
+    }
+    std::cout << table.render();
+    std::cout << "\nexpected shape: the CML mechanism shaves only "
+                 "part of the conflict CPI (most\nIBS conflicts are "
+                 "not simple two-page ping-pongs) and pays per-"
+                 "recolor OS\noverhead that must amortize over long "
+                 "executions; 2-way associativity removes\nthe "
+                 "conflicts outright with no overhead — the paper's "
+                 "§5.1 argument for\nassociative on-chip L2s over "
+                 "CML buffers.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation (§2 related work, [Baer87/Baer88]): what the inclusion
+ * property costs in the paper's two-level design. The 8-KB L1 under
+ * a 64-KB L2: inclusive hierarchies back-invalidate L1 lines on L2
+ * evictions, so L2 conflicts leak into the L1. We report L1 and L2
+ * misses per 100 instructions for the IBS average, inclusive vs
+ * non-inclusive, across L2 associativities (associativity reduces L2
+ * evictions of live lines, shrinking the inclusion tax).
+ */
+
+#include <iostream>
+
+#include "cache/hierarchy.h"
+#include "sim/runner.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions(800000);
+    SuiteTraces suite(ibsSuite(OsType::Mach), n);
+
+    TextTable table("Ablation: inclusion tax in the 8KB/64KB "
+                    "hierarchy (IBS avg, per 100 instructions)");
+    table.setHeader({"L2 assoc", "L1 MPI (non-incl)",
+                     "L1 MPI (inclusive)", "back-invalidations",
+                     "L2 MPI"});
+
+    for (uint32_t assoc : {1u, 2u, 8u}) {
+        uint64_t n_total = 0;
+        uint64_t l1_ni = 0, l1_in = 0, backs = 0, l2m = 0;
+        for (size_t i = 0; i < suite.count(); ++i) {
+            CacheHierarchy ni(
+                CacheConfig{8 * 1024, 1, 32, Replacement::LRU},
+                CacheConfig{64 * 1024, assoc, 64, Replacement::LRU},
+                false);
+            CacheHierarchy incl(
+                CacheConfig{8 * 1024, 1, 32, Replacement::LRU},
+                CacheConfig{64 * 1024, assoc, 64, Replacement::LRU},
+                true);
+            for (uint64_t a : suite.addresses(i)) {
+                ni.access(a);
+                incl.access(a);
+            }
+            n_total += suite.addresses(i).size();
+            l1_ni += ni.l1Misses();
+            l1_in += incl.l1Misses();
+            backs += incl.backInvalidations();
+            l2m += incl.l2Misses();
+        }
+        const double scale = 100.0 / static_cast<double>(n_total);
+        table.addRow({
+            std::to_string(assoc) + "-way",
+            TextTable::num(l1_ni * scale, 3),
+            TextTable::num(l1_in * scale, 3),
+            TextTable::num(backs * scale, 3),
+            TextTable::num(l2m * scale, 3),
+        });
+    }
+    std::cout << table.render();
+    std::cout << "\nexpected shape: inclusion adds L1 misses via "
+                 "back-invalidation, most under a\ndirect-mapped L2; "
+                 "associativity shrinks the tax — one more reason "
+                 "for the\npaper's associative-L2 recommendation.\n";
+    return 0;
+}

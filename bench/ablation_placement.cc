@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablation (§2, software-based methods): profile-guided procedure
+ * placement. "Compilers can reduce conflict misses by carefully
+ * placing procedures in memory with the assistance of execution-
+ * profile information and through call-graph analysis [Hwu89,
+ * McFarling89, Torrellas95]." The paper measures hardware remedies
+ * only; this bench quantifies how much of the IBS bloat penalty a
+ * placement pass could recover in the 8-KB L1:
+ *
+ *   - natural layout: fragmented modules, hot procedures scattered
+ *     (the bloated reality the workloads model);
+ *   - profile-placed: hot procedures clustered in popularity order,
+ *     fragmentation gaps removed (the Pettis-Hansen-style ideal).
+ *
+ * Page-level OS placement (page coloring vs random) is reported for
+ * the same workloads as the complementary software remedy.
+ */
+
+#include <iostream>
+
+#include "cache/cache.h"
+#include "sim/runner.h"
+#include "sim/tapeworm.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace {
+
+using namespace ibs;
+
+WorkloadSpec
+profilePlaced(WorkloadSpec spec)
+{
+    for (ComponentParams &cp : spec.components) {
+        cp.fragmented = false;
+        cp.clusteredHot = true;
+    }
+    spec.name += ".placed";
+    return spec;
+}
+
+double
+mpiOf(const WorkloadSpec &spec, uint64_t n)
+{
+    WorkloadModel model(spec);
+    Cache cache(CacheConfig{8 * 1024, 1, 32, Replacement::LRU});
+    TraceRecord rec;
+    uint64_t instrs = 0, misses = 0;
+    while (instrs < n && model.next(rec)) {
+        if (!rec.isInstr())
+            continue;
+        ++instrs;
+        if (!cache.access(rec.vaddr))
+            ++misses;
+    }
+    return 100.0 * static_cast<double>(misses) /
+        static_cast<double>(instrs);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions();
+    TextTable table("Ablation: profile-guided procedure placement "
+                    "(8KB DM, 32B lines)");
+    table.setHeader({"workload", "natural MPI", "profile-placed MPI",
+                     "recovered"});
+    double nat_sum = 0, placed_sum = 0;
+    for (IbsBenchmark b : allIbsBenchmarks()) {
+        const WorkloadSpec spec = makeIbs(b, OsType::Mach);
+        const double nat = mpiOf(spec, n);
+        const double placed = mpiOf(profilePlaced(spec), n);
+        nat_sum += nat;
+        placed_sum += placed;
+        table.addRow({benchmarkName(b), TextTable::num(nat, 2),
+                      TextTable::num(placed, 2),
+                      TextTable::num(100.0 * (nat - placed) / nat,
+                                     0) + "%"});
+    }
+    table.addRule();
+    table.addRow({"average", TextTable::num(nat_sum / 8, 2),
+                  TextTable::num(placed_sum / 8, 2),
+                  TextTable::num(100.0 * (nat_sum - placed_sum) /
+                                     nat_sum, 0) + "%"});
+    std::cout << table.render() << "\n";
+
+    // Complementary OS-level remedy: page placement policies in a
+    // physically-indexed 32-KB cache.
+    TextTable os_table("OS page placement (32KB DM physically-"
+                       "indexed, CPIinstr mean over 3 trials)");
+    os_table.setHeader({"workload", "random", "bin-hopping",
+                        "page-coloring"});
+    for (IbsBenchmark b : {IbsBenchmark::Verilog, IbsBenchmark::Gs}) {
+        std::vector<std::string> row = {benchmarkName(b)};
+        for (PagePolicy policy : {PagePolicy::Random,
+                                  PagePolicy::BinHopping,
+                                  PagePolicy::PageColoring}) {
+            TapewormConfig config;
+            config.cache = CacheConfig{32 * 1024, 1, 32,
+                                       Replacement::LRU};
+            config.policy = policy;
+            config.trials = 3;
+            config.instructions = n / 2;
+            const TapewormResult r =
+                runTapeworm(makeIbs(b, OsType::Mach), config);
+            row.push_back(TextTable::num(r.cpiInstr.mean()));
+        }
+        os_table.addRow(row);
+    }
+    std::cout << os_table.render();
+    std::cout << "\nexpected shape: placement recovers a substantial "
+                 "fraction of the conflict\ncomponent (software can "
+                 "fight bloat too — §2), and careful page placement\n"
+                 "beats random mapping in physically-indexed "
+                 "caches.\n";
+    return 0;
+}

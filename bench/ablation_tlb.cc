@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: TLB design space under bloat. The paper's introduction
+ * observes that bloated programs "use virtual memory in a more sparse
+ * and fragmented manner, making their page-table entries less likely
+ * to fit in TLBs" (and the authors studied this in [Nagle93/94]).
+ * This bench sweeps TLB size and associativity over the IBS and SPEC
+ * suites (instruction *and* data references) and reports misses per
+ * 100 instructions.
+ *
+ * Expected shape: IBS needs several times the TLB reach of SPEC for
+ * equal miss rates, and low-associativity TLBs suffer under the
+ * multi-address-space Mach workloads.
+ */
+
+#include <iostream>
+
+#include "sim/runner.h"
+#include "stats/table.h"
+#include "tlb/tlb.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace {
+
+using namespace ibs;
+
+double
+tlbMpi(std::vector<WorkloadSpec> suite, const TlbConfig &config,
+       uint64_t n)
+{
+    uint64_t misses = 0, instrs = 0;
+    for (WorkloadSpec &spec : suite) {
+        spec.data.enabled = true;
+        WorkloadModel model(spec);
+        Tlb tlb(config);
+        TraceRecord rec;
+        uint64_t done = 0;
+        while (done < n && model.next(rec)) {
+            if (rec.isInstr())
+                ++done;
+            if (!tlb.access(rec.asid, rec.vaddr))
+                ++misses;
+        }
+        instrs += done;
+    }
+    return 100.0 * static_cast<double>(misses) /
+        static_cast<double>(instrs);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions(500000);
+    const auto ibs_suite = ibsSuite(OsType::Mach);
+    const auto spec_suite = specSuite();
+
+    TextTable table("Ablation: TLB misses per 100 instructions "
+                    "(I+D references)");
+    table.setHeader({"TLB", "SPEC", "IBS (Mach)"});
+    for (uint32_t entries : {16u, 32u, 64u, 128u, 256u}) {
+        for (uint32_t assoc : {4u, entries}) {
+            if (assoc > entries)
+                continue;
+            TlbConfig config{entries, assoc, Replacement::LRU, true};
+            table.addRow({
+                std::to_string(entries) + "-entry/" +
+                    (assoc == entries ? "full"
+                                      : std::to_string(assoc) +
+                                            "-way"),
+                TextTable::num(tlbMpi(spec_suite, config, n), 3),
+                TextTable::num(tlbMpi(ibs_suite, config, n), 3),
+            });
+        }
+    }
+    std::cout << table.render();
+    std::cout << "\nexpected shape: IBS needs a several-times larger "
+                 "TLB than SPEC for equal miss\nrates; the R2000's "
+                 "64-entry fully-associative design sits at the "
+                 "knee for SPEC\nbut not for IBS.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: conflict-miss remedies compared. The paper argues for
+ * associative on-chip L2s over after-the-fact conflict removal (CML
+ * buffers, §5.1); Jouppi's victim cache is the classic hardware
+ * middle ground. This bench compares, at the 8-KB L1 level, for the
+ * IBS (Mach) average:
+ *
+ *   - plain direct-mapped,
+ *   - direct-mapped + {1,2,4,8}-line victim buffer,
+ *   - 2-way set-associative (same capacity).
+ *
+ * Metric: misses per 100 instructions (victim-buffer hits cost a
+ * swap, not a fill, so they are excluded from the miss count; a
+ * footnote row reports them separately).
+ */
+
+#include <iostream>
+
+#include "cache/cache.h"
+#include "cache/victim.h"
+#include "sim/runner.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions();
+    SuiteTraces suite(ibsSuite(OsType::Mach), n);
+
+    TextTable table("Ablation: conflict-miss remedies at 8KB "
+                    "(IBS avg, 32B lines)");
+    table.setHeader({"design", "MPI*100", "victim swaps per 100"});
+
+    auto plain = [&](uint32_t assoc) {
+        uint64_t misses = 0, instrs = 0;
+        for (size_t i = 0; i < suite.count(); ++i) {
+            Cache cache(CacheConfig{8 * 1024, assoc, 32,
+                                    Replacement::LRU});
+            for (uint64_t a : suite.addresses(i)) {
+                ++instrs;
+                if (!cache.access(a))
+                    ++misses;
+            }
+        }
+        return 100.0 * static_cast<double>(misses) /
+            static_cast<double>(instrs);
+    };
+
+    table.addRow({"direct-mapped", TextTable::num(plain(1), 2), "-"});
+    for (uint32_t v : {1u, 2u, 4u, 8u}) {
+        uint64_t misses = 0, swaps = 0, instrs = 0;
+        for (size_t i = 0; i < suite.count(); ++i) {
+            VictimCache cache(CacheConfig{8 * 1024, 1, 32,
+                                          Replacement::LRU}, v);
+            for (uint64_t a : suite.addresses(i)) {
+                ++instrs;
+                const int r = cache.access(a);
+                if (r == 2)
+                    ++misses;
+                else if (r == 1)
+                    ++swaps;
+            }
+        }
+        table.addRow({
+            "DM + " + std::to_string(v) + "-line victim buffer",
+            TextTable::num(100.0 * misses / instrs, 2),
+            TextTable::num(100.0 * swaps / instrs, 2),
+        });
+    }
+    table.addRow({"2-way set-associative",
+                  TextTable::num(plain(2), 2), "-"});
+    table.addRow({"8-way set-associative",
+                  TextTable::num(plain(8), 2), "-"});
+
+    std::cout << table.render();
+    std::cout << "\nexpected shape: a small victim buffer removes "
+                 "part of the DM conflict gap;\nreal associativity "
+                 "removes it all — consistent with the paper's "
+                 "preference for\nassociative L2s over "
+                 "conflict-patching structures.\n";
+    return 0;
+}

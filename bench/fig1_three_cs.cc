@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 1: capacity and conflict misses per instruction
+ * for the SPEC92 and IBS suites across I-cache sizes 8-256 KB
+ * (32-byte lines). Capacity misses are approximated with an 8-way
+ * set-associative cache; conflict misses are the extra misses of the
+ * direct-mapped cache — exactly the paper's method.
+ *
+ * Paper shape: IBS starts near 4.8 MPI at 8 KB with a substantial
+ * conflict component and is still missing at 128-256 KB; SPEC starts
+ * near 1.1 and is negligible by 64 KB. IBS at 64 KB DM is comparable
+ * to SPEC at 8 KB DM.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cache/three_c.h"
+#include "sim/runner.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+
+namespace {
+
+using namespace ibs;
+
+void
+emitSuite(const std::string &title, const SuiteTraces &traces)
+{
+    TextTable table(title);
+    table.setHeader({"I-cache size", "capacity MPI*100",
+                     "conflict MPI*100", "compulsory MPI*100",
+                     "total MPI*100"});
+    for (uint64_t kb : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        double cap = 0, conf = 0, comp = 0;
+        for (size_t i = 0; i < traces.count(); ++i) {
+            ThreeCClassifier classifier(kb * 1024, 32, 1, 8);
+            for (uint64_t addr : traces.addresses(i))
+                classifier.access(addr);
+            const ThreeCBreakdown b = classifier.breakdown();
+            cap += b.capacityMpi100();
+            conf += b.conflictMpi100();
+            comp += b.compulsoryMpi100();
+        }
+        const auto c = static_cast<double>(traces.count());
+        table.addRow({std::to_string(kb) + "KB",
+                      TextTable::num(cap / c, 2),
+                      TextTable::num(conf / c, 2),
+                      TextTable::num(comp / c, 2),
+                      TextTable::num((cap + conf + comp) / c, 2)});
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions();
+    emitSuite("Figure 1a: SPEC92 capacity+conflict vs I-cache size",
+              SuiteTraces(specSuite(), n));
+    emitSuite("Figure 1b: IBS (Mach 3.0) capacity+conflict vs "
+              "I-cache size",
+              SuiteTraces(ibsSuite(OsType::Mach), n));
+    std::cout << "paper shape: IBS(8KB) ~4.8 with visible conflict "
+                 "share, still >0 at 256KB;\n"
+                 "SPEC(8KB) ~1.1, negligible by 64KB; IBS(64KB DM) "
+                 "~= SPEC(8KB DM).\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 5: run-to-run variability of CPIinstr in
+ * physically-indexed I-caches caused by OS page-mapping decisions,
+ * measured Tapeworm-style with 5 trials per point. Cache sizes 4 KB
+ * to 1 MB, associativities 1/2/4, for two highly-variable IBS
+ * workloads (verilog, gs) and two stable SPEC workloads (eqntott,
+ * espresso).
+ *
+ * Paper shape: variability (one standard deviation of CPIinstr) is
+ * workload- and size-dependent, peaks for IBS workloads at mid cache
+ * sizes, is near zero for eqntott/espresso, and small associativity
+ * strongly damps it — the argument for associative L2s over CML
+ * buffers.
+ */
+
+#include <iostream>
+
+#include "sim/runner.h"
+#include "sim/tapeworm.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+
+namespace {
+
+using namespace ibs;
+
+void
+sweep(const std::string &name, const WorkloadSpec &spec, uint64_t n)
+{
+    TextTable table("Figure 5: std dev of CPIinstr — " + name);
+    table.setHeader({"I-cache size", "1-way", "2-way", "4-way"});
+    for (uint64_t kb : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                        1024u}) {
+        std::vector<std::string> row = {std::to_string(kb) + "KB"};
+        for (uint32_t assoc : {1u, 2u, 4u}) {
+            TapewormConfig config;
+            config.cache =
+                CacheConfig{kb * 1024, assoc, 32, Replacement::LRU};
+            config.missPenalty = 7;
+            config.trials = 5;
+            config.instructions = n;
+            config.policy = PagePolicy::Random;
+            const TapewormResult r = runTapeworm(spec, config);
+            row.push_back(TextTable::num(r.cpiInstr.stddev(), 4));
+        }
+        table.addRow(row);
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ibs;
+    const uint64_t n = benchInstructions(600000);
+    sweep("verilog (IBS, Mach 3.0)",
+          makeIbs(IbsBenchmark::Verilog, OsType::Mach), n);
+    sweep("gs (IBS, Mach 3.0)", makeIbs(IbsBenchmark::Gs,
+                                        OsType::Mach), n);
+    sweep("eqntott (SPEC)", makeSpec(SpecBenchmark::Eqntott), n);
+    sweep("espresso (SPEC)", makeSpec(SpecBenchmark::Espresso), n);
+    std::cout << "paper shape: IBS workloads vary strongly at some "
+                 "sizes (up to ~0.05);\nSPEC's eqntott/espresso "
+                 "barely vary; 2-way/4-way damp the variability.\n";
+    return 0;
+}

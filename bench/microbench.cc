@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulation substrates
+ * themselves: how fast the library simulates, which bounds how much
+ * of the paper's parameter space a given time budget can sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/fetch_engine.h"
+#include "trace/file.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace {
+
+using namespace ibs;
+
+const std::vector<uint64_t> &
+trace()
+{
+    static const std::vector<uint64_t> t = [] {
+        std::vector<uint64_t> addrs;
+        WorkloadModel model(makeIbs(IbsBenchmark::Gs, OsType::Mach));
+        TraceRecord rec;
+        while (addrs.size() < 1000000 && model.next(rec)) {
+            if (rec.isInstr())
+                addrs.push_back(rec.vaddr);
+        }
+        return addrs;
+    }();
+    return t;
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const WorkloadSpec spec = makeIbs(IbsBenchmark::Gs, OsType::Mach);
+    WorkloadModel model(spec);
+    TraceRecord rec;
+    for (auto _ : state) {
+        model.next(rec);
+        benchmark::DoNotOptimize(rec.vaddr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{
+        static_cast<uint64_t>(state.range(0)) * 1024,
+        static_cast<uint32_t>(state.range(1)), 32, Replacement::LRU});
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i]));
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Args({8, 1})->Args({64, 1})->Args({64, 8});
+
+void
+BM_FetchEngineBaseline(benchmark::State &state)
+{
+    FetchEngine engine(economyBaseline());
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        engine.fetch(addrs[i]);
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchEngineBaseline);
+
+void
+BM_FetchEngineStreamBuffer(benchmark::State &state)
+{
+    FetchConfig c;
+    c.l1 = CacheConfig{8 * 1024, 1, 16, Replacement::LRU};
+    c.l1Fill = MemoryTiming{6, 16};
+    c.pipelined = true;
+    c.streamBufferLines = 6;
+    FetchEngine engine(c);
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        engine.fetch(addrs[i]);
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchEngineStreamBuffer);
+
+void
+BM_TraceFileWrite(benchmark::State &state)
+{
+    const std::string path = "/tmp/ibs_microbench.ibst";
+    const auto &addrs = trace();
+    for (auto _ : state) {
+        TraceFileWriter writer(path);
+        for (size_t i = 0; i < 100000; ++i)
+            writer.write({addrs[i], 1, RefKind::InstrFetch});
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceFileWrite);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Table 3: memory performance of the IBS workloads on the
+ * DECstation 3100 hardware monitor, against SPEC92.
+ *
+ * Paper rows (User% / OS% / CPIinstr / CPIdata / CPIwrite):
+ *   IBS (Mach 3.0):   62 / 38 / 0.36 / 0.28 / 0.16
+ *   IBS (Ultrix 3.1): 76 / 24 / 0.19 / 0.30 / 0.11
+ *   SPECint92:        97 /  3 / 0.05 / 0.08 / 0.06
+ *   SPECfp92:         98 /  2 / 0.05 / 0.44 / 0.13
+ */
+
+#include <iostream>
+
+#include "core/decstation.h"
+#include "sim/runner.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace {
+
+using namespace ibs;
+
+/** Average the DECstation stats over a suite with data refs on. */
+DecstationStats
+suiteRow(std::vector<WorkloadSpec> suite, uint64_t n)
+{
+    DecstationStats total;
+    for (WorkloadSpec &spec : suite) {
+        spec.data.enabled = true;
+        WorkloadModel model(spec);
+        DecstationModel machine;
+        const DecstationStats s = machine.run(model, n);
+        total.instructions += s.instructions;
+        total.userInstructions += s.userInstructions;
+        total.icacheMisses += s.icacheMisses;
+        total.dcacheMisses += s.dcacheMisses;
+        total.tlbMisses += s.tlbMisses;
+        total.writeStallCycles += s.writeStallCycles;
+    }
+    return total;
+}
+
+void
+addRow(TextTable &table, const std::string &name,
+       const DecstationStats &s)
+{
+    table.addRow({
+        name,
+        TextTable::num(100.0 * s.userFraction(), 0),
+        TextTable::num(100.0 * (1.0 - s.userFraction()), 0),
+        TextTable::num(s.cpiInstr(), 2),
+        TextTable::num(s.cpiData(), 2),
+        TextTable::num(s.cpiWrite(), 2),
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions(800000);
+    TextTable table(
+        "Table 3: Memory Performance of the IBS Workloads "
+        "(DECstation 3100)");
+    table.setHeader({"Benchmark", "User%", "OS%", "I-cache CPI",
+                     "D-cache CPI", "Write CPI"});
+
+    addRow(table, "IBS (Mach 3.0)", suiteRow(ibsSuite(OsType::Mach),
+                                             n));
+    addRow(table, "IBS (Ultrix 3.1)",
+           suiteRow(ibsSuite(OsType::Ultrix), n));
+
+    for (const char *which : {"SPECint92", "SPECfp92"}) {
+        WorkloadModel model(specComposite(which));
+        DecstationModel machine;
+        addRow(table, which, machine.run(model, n));
+    }
+
+    std::cout << table.render();
+    std::cout <<
+        "\npaper:  IBS/Mach   62/38  0.36/0.28/0.16\n"
+        "        IBS/Ultrix 76/24  0.19/0.30/0.11\n"
+        "        SPECint92  97/3   0.05/0.08/0.06\n"
+        "        SPECfp92   98/2   0.05/0.44/0.13\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table 5: CPIinstr of the two baseline configurations
+ * (economy: main memory at 30 cycles / 4 B-per-cycle; high
+ * performance: ideal off-chip cache at 12 cycles / 8 B-per-cycle),
+ * each with an 8-KB direct-mapped on-chip L1 I-cache, for the SPEC
+ * and IBS (Mach 3.0) suite averages.
+ *
+ * Paper values: economy SPEC 0.54 / IBS 1.77; high-perf SPEC 0.18 /
+ * IBS 0.72.
+ */
+
+#include <iostream>
+
+#include "core/fetch_config.h"
+#include "sim/runner.h"
+#include "stats/table.h"
+#include "workload/ibs.h"
+
+int
+main()
+{
+    using namespace ibs;
+
+    const uint64_t n = benchInstructions();
+    SuiteTraces spec(specSuite(), n);
+    SuiteTraces suite(ibsSuite(OsType::Mach), n);
+
+    const FetchConfig economy = economyBaseline();
+    const FetchConfig highperf = highPerfBaseline();
+
+    TextTable table("Table 5: CPIinstr for base system configurations");
+    table.setHeader({"", "Economy", "High Performance"});
+    table.addRow({"Latency to first word (cycles)", "30", "12"});
+    table.addRow({"Bandwidth (bytes/cycle)", "4", "8"});
+    table.addRow({"CPIinstr (SPEC)",
+                  TextTable::num(spec.runSuite(economy).cpiInstr(), 2),
+                  TextTable::num(spec.runSuite(highperf).cpiInstr(),
+                                 2)});
+    table.addRow({"CPIinstr (IBS)",
+                  TextTable::num(suite.runSuite(economy).cpiInstr(), 2),
+                  TextTable::num(suite.runSuite(highperf).cpiInstr(),
+                                 2)});
+    std::cout << table.render();
+    std::cout << "\npaper:  SPEC 0.54 / 0.18,  IBS 1.77 / 0.72\n";
+    return 0;
+}

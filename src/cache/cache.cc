@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cache implementation.
+ */
+
+#include "cache/cache.h"
+
+#include <cassert>
+
+namespace ibs {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    lines_.resize(config_.numSets() * config_.assoc);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    // Tag includes the set bits; comparing full line addresses keeps
+    // the model correct for any (set, way) geometry.
+    return addr >> config_.lineShift();
+}
+
+int
+Cache::findWay(uint64_t set, uint64_t tag) const
+{
+    const size_t base = set * config_.assoc;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+uint32_t
+Cache::victimWay(uint64_t set)
+{
+    const size_t base = set * config_.assoc;
+    // Prefer an invalid way.
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!lines_[base + w].valid)
+            return w;
+    }
+    switch (config_.replacement) {
+      case Replacement::LRU:
+      case Replacement::FIFO: {
+        uint32_t victim = 0;
+        uint64_t oldest = lines_[base].stamp;
+        for (uint32_t w = 1; w < config_.assoc; ++w) {
+            if (lines_[base + w].stamp < oldest) {
+                oldest = lines_[base + w].stamp;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+      case Replacement::Random: {
+        // 16-bit Galois LFSR: deterministic pseudo-random victim.
+        const uint64_t bit = ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^
+                              (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u;
+        lfsr_ = (lfsr_ >> 1) | (bit << 15);
+        return static_cast<uint32_t>(lfsr_ % config_.assoc);
+      }
+    }
+    return 0;
+}
+
+void
+Cache::fill(uint64_t set, uint64_t tag)
+{
+    const uint32_t way = victimWay(set);
+    Line &line = lines_[set * config_.assoc + way];
+    line.tag = tag;
+    line.valid = true;
+    line.stamp = ++clock_;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    return accessEx(addr).hit;
+}
+
+Cache::AccessOutcome
+Cache::accessEx(uint64_t addr)
+{
+    ++accesses_;
+    AccessOutcome outcome;
+    const uint64_t set = config_.setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const int way = findWay(set, tag);
+    if (way >= 0) {
+        ++hits_;
+        if (config_.replacement == Replacement::LRU)
+            lines_[set * config_.assoc + way].stamp = ++clock_;
+        outcome.hit = true;
+        return outcome;
+    }
+    const uint32_t victim = victimWay(set);
+    Line &line = lines_[set * config_.assoc + victim];
+    if (line.valid) {
+        outcome.evicted = true;
+        outcome.victimAddr = line.tag << config_.lineShift();
+    }
+    line.tag = tag;
+    line.valid = true;
+    line.stamp = ++clock_;
+    return outcome;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    return findWay(config_.setIndex(addr), tagOf(addr)) >= 0;
+}
+
+void
+Cache::insert(uint64_t addr)
+{
+    const uint64_t set = config_.setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const int way = findWay(set, tag);
+    if (way >= 0) {
+        if (config_.replacement == Replacement::LRU)
+            lines_[set * config_.assoc + way].stamp = ++clock_;
+        return;
+    }
+    fill(set, tag);
+}
+
+void
+Cache::invalidate(uint64_t addr)
+{
+    const uint64_t set = config_.setIndex(addr);
+    const int way = findWay(set, tagOf(addr));
+    if (way >= 0)
+        lines_[set * config_.assoc + way].valid = false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+void
+Cache::resetStats()
+{
+    accesses_ = 0;
+    hits_ = 0;
+}
+
+uint64_t
+Cache::validLines() const
+{
+    uint64_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+std::vector<uint64_t>
+Cache::validLineAddrs() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(lines_.size());
+    for (const auto &line : lines_) {
+        if (line.valid)
+            out.push_back(line.tag << config_.lineShift());
+    }
+    return out;
+}
+
+} // namespace ibs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * A purely functional (hit/miss) cache: timing is layered on top by
+ * core/FetchEngine and core/DecstationModel. This separation — *what
+ * misses* vs *what a miss costs* — is what lets Tables 5-8 share one
+ * miss model under different L1-L2 interface policies.
+ */
+
+#ifndef IBS_CACHE_CACHE_H
+#define IBS_CACHE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.h"
+#include "stats/summary.h"
+
+namespace ibs {
+
+/** Classic set-associative cache with selectable replacement. */
+class Cache
+{
+  public:
+    /** @param config validated geometry (validate() is called here). */
+    explicit Cache(const CacheConfig &config);
+
+    /** Outcome of an access, including any eviction it caused. */
+    struct AccessOutcome
+    {
+        bool hit = false;
+        bool evicted = false;    ///< A valid line was replaced.
+        uint64_t victimAddr = 0; ///< Line address of the victim.
+    };
+
+    /**
+     * Reference `addr`; allocate the line on a miss.
+     *
+     * @retval true hit
+     */
+    bool access(uint64_t addr);
+
+    /** As access(), but reports the evicted line (for inclusion
+     *  enforcement in multi-level hierarchies). */
+    AccessOutcome accessEx(uint64_t addr);
+
+    /** Hit/miss test without any state change. */
+    bool contains(uint64_t addr) const;
+
+    /**
+     * Install the line containing `addr` without counting an access
+     * (used by prefetch engines). Touches recency on an existing line.
+     */
+    void insert(uint64_t addr);
+
+    /** Invalidate the line containing `addr` if present. */
+    void invalidate(uint64_t addr);
+
+    /** Invalidate everything (e.g. between Tapeworm trials). */
+    void invalidateAll();
+
+    const CacheConfig &config() const { return config_; }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return accesses_ - hits_; }
+
+    /** Miss ratio in misses per access. */
+    double
+    missRatio() const
+    {
+        return accesses_ ? static_cast<double>(misses()) /
+                           static_cast<double>(accesses_)
+                         : 0.0;
+    }
+
+    /** Reset hit/miss counters without touching contents. */
+    void resetStats();
+
+    /** Number of currently valid lines (diagnostics). */
+    uint64_t validLines() const;
+
+    /** Line addresses of all valid lines (inclusion checking). */
+    std::vector<uint64_t> validLineAddrs() const;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t stamp = 0; ///< Recency (LRU) or insertion (FIFO) time.
+        bool valid = false;
+    };
+
+    /** Find the way holding `tag` in `set`, or -1. */
+    int findWay(uint64_t set, uint64_t tag) const;
+
+    /** Choose a victim way in `set` per the replacement policy. */
+    uint32_t victimWay(uint64_t set);
+
+    /** Install `tag` into `set`, victimizing as needed. */
+    void fill(uint64_t set, uint64_t tag);
+
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig config_;
+    std::vector<Line> lines_; ///< numSets * assoc, way-major within set.
+    uint64_t clock_ = 0;
+    uint64_t lfsr_ = 0xace1u; ///< For Replacement::Random.
+    uint64_t accesses_ = 0;
+    uint64_t hits_ = 0;
+};
+
+} // namespace ibs
+
+#endif // IBS_CACHE_CACHE_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CacheConfig validation and formatting.
+ */
+
+#include "cache/config.h"
+
+#include <sstream>
+
+namespace ibs {
+
+const char *
+replacementName(Replacement policy)
+{
+    switch (policy) {
+      case Replacement::LRU: return "LRU";
+      case Replacement::Random: return "random";
+      case Replacement::FIFO: return "FIFO";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+CacheConfig::validate() const
+{
+    if (!isPow2(sizeBytes))
+        throw std::invalid_argument("cache size must be a power of two");
+    if (!isPow2(lineBytes) || lineBytes < 4)
+        throw std::invalid_argument(
+            "line size must be a power of two >= 4");
+    if (assoc == 0)
+        throw std::invalid_argument("associativity must be >= 1");
+    const uint64_t lines = sizeBytes / lineBytes;
+    if (lines == 0 || lines % assoc != 0)
+        throw std::invalid_argument(
+            "associativity must divide the line count");
+    if (!isPow2(numSets()))
+        throw std::invalid_argument(
+            "set count must be a power of two");
+}
+
+std::string
+CacheConfig::toString() const
+{
+    std::ostringstream os;
+    if (sizeBytes % 1024 == 0)
+        os << sizeBytes / 1024 << "KB";
+    else
+        os << sizeBytes << "B";
+    os << "/" << assoc << "-way/" << lineBytes << "B";
+    return os.str();
+}
+
+} // namespace ibs

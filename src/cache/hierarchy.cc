@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CacheHierarchy implementation.
+ */
+
+#include "cache/hierarchy.h"
+
+#include <stdexcept>
+
+namespace ibs {
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &l1,
+                               const CacheConfig &l2, bool inclusive)
+    : l1_(l1), l2_(l2), inclusive_(inclusive)
+{
+    if (l2.lineBytes < l1.lineBytes)
+        throw std::invalid_argument(
+            "L2 line size must be >= L1 line size");
+}
+
+HierarchyResult
+CacheHierarchy::access(uint64_t addr)
+{
+    ++accesses_;
+    HierarchyResult result;
+    if (l1_.access(addr)) {
+        result.l1Hit = true;
+        return result;
+    }
+    ++l1Misses_;
+
+    const Cache::AccessOutcome l2_outcome = l2_.accessEx(addr);
+    result.l2Hit = l2_outcome.hit;
+    if (!l2_outcome.hit)
+        ++l2Misses_;
+
+    if (inclusive_ && l2_outcome.evicted) {
+        // Back-invalidate every L1 line covered by the evicted L2
+        // line so the inclusion property survives the eviction.
+        for (uint64_t off = 0; off < l2_.config().lineBytes;
+             off += l1_.config().lineBytes) {
+            const uint64_t line = l2_outcome.victimAddr + off;
+            if (l1_.contains(line)) {
+                l1_.invalidate(line);
+                ++backInvalidations_;
+            }
+        }
+    }
+    return result;
+}
+
+bool
+CacheHierarchy::checkInclusion() const
+{
+    for (uint64_t line : l1_.validLineAddrs()) {
+        if (!l2_.contains(line))
+            return false;
+    }
+    return true;
+}
+
+} // namespace ibs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * SubBlockCache implementation.
+ */
+
+#include "cache/subblock.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ibs {
+
+SubBlockCache::SubBlockCache(const CacheConfig &config,
+                             uint32_t sub_block_bytes)
+    : config_(config), subBytes_(sub_block_bytes)
+{
+    config_.validate();
+    if (sub_block_bytes == 0 || config.lineBytes % sub_block_bytes != 0)
+        throw std::invalid_argument(
+            "sub-block size must divide the line size");
+    subsPerLine_ = config.lineBytes / sub_block_bytes;
+    if (subsPerLine_ > 32)
+        throw std::invalid_argument("at most 32 sub-blocks per line");
+    lines_.resize(config_.numSets() * config_.assoc);
+}
+
+int
+SubBlockCache::findWay(uint64_t set, uint64_t tag) const
+{
+    const size_t base = set * config_.assoc;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+uint32_t
+SubBlockCache::victimWay(uint64_t set) const
+{
+    const size_t base = set * config_.assoc;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!lines_[base + w].valid)
+            return w;
+    }
+    uint32_t victim = 0;
+    uint64_t oldest = lines_[base].stamp;
+    for (uint32_t w = 1; w < config_.assoc; ++w) {
+        if (lines_[base + w].stamp < oldest) {
+            oldest = lines_[base + w].stamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+SubBlockResult
+SubBlockCache::access(uint64_t addr)
+{
+    ++accesses_;
+    const uint64_t set = config_.setIndex(addr);
+    const uint64_t tag = addr >> config_.lineShift();
+    const uint32_t sub = static_cast<uint32_t>(
+        (addr & (config_.lineBytes - 1)) / subBytes_);
+
+    SubBlockResult result;
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        Line &line = lines_[set * config_.assoc + way];
+        line.stamp = ++clock_;
+        if (line.validMask & (1u << sub)) {
+            result.hit = true;
+            return result;
+        }
+        // Sub-block miss within a present line: fill from the missing
+        // sub-block to the end of the line.
+        ++misses_;
+        for (uint32_t s = sub; s < subsPerLine_; ++s) {
+            if (!(line.validMask & (1u << s))) {
+                line.validMask |= 1u << s;
+                ++result.filled;
+            }
+        }
+        filled_ += result.filled;
+        return result;
+    }
+
+    // Whole-line (tag) miss.
+    ++misses_;
+    ++tagMisses_;
+    result.tagMiss = true;
+    const uint32_t victim = victimWay(set);
+    Line &line = lines_[set * config_.assoc + victim];
+    line.tag = tag;
+    line.valid = true;
+    line.stamp = ++clock_;
+    line.validMask = 0;
+    for (uint32_t s = sub; s < subsPerLine_; ++s) {
+        line.validMask |= 1u << s;
+        ++result.filled;
+    }
+    filled_ += result.filled;
+    return result;
+}
+
+void
+SubBlockCache::invalidateAll()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.validMask = 0;
+    }
+}
+
+} // namespace ibs

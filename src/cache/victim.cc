@@ -1,0 +1,113 @@
+/**
+ * @file
+ * VictimCache implementation.
+ */
+
+#include "cache/victim.h"
+
+#include <algorithm>
+
+namespace ibs {
+
+VictimCache::VictimCache(const CacheConfig &config,
+                         uint32_t victim_lines)
+    : config_(config), victimLines_(victim_lines)
+{
+    config_.validate();
+    lines_.resize(config_.numSets() * config_.assoc);
+}
+
+int
+VictimCache::findWay(uint64_t set, uint64_t tag) const
+{
+    const size_t base = set * config_.assoc;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+uint32_t
+VictimCache::victimWay(uint64_t set) const
+{
+    const size_t base = set * config_.assoc;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!lines_[base + w].valid)
+            return w;
+    }
+    uint32_t victim = 0;
+    uint64_t oldest = lines_[base].stamp;
+    for (uint32_t w = 1; w < config_.assoc; ++w) {
+        if (lines_[base + w].stamp < oldest) {
+            oldest = lines_[base + w].stamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+VictimCache::pushVictim(uint64_t line_addr)
+{
+    if (victimLines_ == 0)
+        return;
+    if (victims_.size() >= victimLines_)
+        victims_.pop_front();
+    victims_.push_back(line_addr);
+}
+
+bool
+VictimCache::popVictim(uint64_t line_addr)
+{
+    auto it = std::find(victims_.begin(), victims_.end(), line_addr);
+    if (it == victims_.end())
+        return false;
+    victims_.erase(it);
+    return true;
+}
+
+int
+VictimCache::access(uint64_t addr)
+{
+    ++accesses_;
+    const uint64_t set = config_.setIndex(addr);
+    const uint64_t tag = addr >> config_.lineShift();
+    const uint64_t line_addr = config_.lineAddr(addr);
+
+    const int way = findWay(set, tag);
+    if (way >= 0) {
+        ++mainHits_;
+        lines_[set * config_.assoc + way].stamp = ++clock_;
+        return 0;
+    }
+
+    // Choose the main-cache victim; the incoming line replaces it.
+    const uint32_t w = victimWay(set);
+    Line &line = lines_[set * config_.assoc + w];
+    const bool had = line.valid;
+    const uint64_t evicted =
+        line.tag << config_.lineShift();
+
+    const bool in_victim = popVictim(line_addr);
+    if (in_victim)
+        ++victimHits_;
+
+    line.tag = tag;
+    line.valid = true;
+    line.stamp = ++clock_;
+    if (had)
+        pushVictim(evicted);
+    return in_victim ? 1 : 2;
+}
+
+void
+VictimCache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    victims_.clear();
+}
+
+} // namespace ibs

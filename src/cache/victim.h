@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Victim cache (Jouppi 1990).
+ *
+ * The paper evaluates one of Jouppi's two structures (the stream
+ * buffer) and discusses conflict-miss remedies (associativity, CML
+ * buffers, page placement). The victim cache is the classic hardware
+ * alternative: a small fully-associative buffer holding the last few
+ * lines evicted from a direct-mapped cache, swapping a line back on a
+ * victim hit. `bench/ablation_victim` compares it against the
+ * associativity the paper recommends.
+ */
+
+#ifndef IBS_CACHE_VICTIM_H
+#define IBS_CACHE_VICTIM_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cache/config.h"
+
+namespace ibs {
+
+/**
+ * A direct-mapped (or set-associative) cache with a small
+ * fully-associative victim buffer behind it.
+ */
+class VictimCache
+{
+  public:
+    /**
+     * @param config main cache geometry
+     * @param victim_lines victim buffer capacity in lines
+     */
+    VictimCache(const CacheConfig &config, uint32_t victim_lines);
+
+    /**
+     * Reference `addr`.
+     *
+     * @retval 0 main-cache hit
+     * @retval 1 victim-buffer hit (line swapped back, one-cycle-class
+     *           event, not a full miss)
+     * @retval 2 full miss (filled from the next level)
+     */
+    int access(uint64_t addr);
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t mainHits() const { return mainHits_; }
+    uint64_t victimHits() const { return victimHits_; }
+    uint64_t misses() const
+    {
+        return accesses_ - mainHits_ - victimHits_;
+    }
+
+    const CacheConfig &config() const { return config_; }
+    uint32_t victimLines() const { return victimLines_; }
+
+    void invalidateAll();
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    int findWay(uint64_t set, uint64_t tag) const;
+    uint32_t victimWay(uint64_t set) const;
+
+    /** Push an evicted line into the victim buffer. */
+    void pushVictim(uint64_t line_addr);
+
+    /** Remove a line from the victim buffer; true if found. */
+    bool popVictim(uint64_t line_addr);
+
+    CacheConfig config_;
+    uint32_t victimLines_;
+    std::vector<Line> lines_;
+    std::deque<uint64_t> victims_; ///< FIFO of line addresses.
+    uint64_t clock_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t mainHits_ = 0;
+    uint64_t victimHits_ = 0;
+};
+
+} // namespace ibs
+
+#endif // IBS_CACHE_VICTIM_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * DecstationModel implementation.
+ */
+
+#include "core/decstation.h"
+
+namespace ibs {
+
+DecstationModel::DecstationModel(const DecstationConfig &config)
+    : config_(config), icache_(config.icache), dcache_(config.dcache),
+      tlb_(config.tlb)
+{
+    stats_.cacheMissPenalty = config_.cacheMissPenalty;
+    stats_.tlbMissPenalty = config_.tlbMissPenalty;
+}
+
+void
+DecstationModel::handleWrite()
+{
+    // Retire completed writes.
+    while (!writeBuffer_.empty() && writeBuffer_.front() <= cycle_)
+        writeBuffer_.pop_front();
+
+    if (writeBuffer_.size() >= config_.writeBufferDepth) {
+        // Buffer full: the CPU stalls until the oldest write drains.
+        const uint64_t wait = writeBuffer_.front() - cycle_;
+        stats_.writeStallCycles += wait;
+        cycle_ += wait;
+        writeBuffer_.pop_front();
+    }
+
+    const uint64_t start = writeBuffer_.empty()
+        ? cycle_ : writeBuffer_.back();
+    writeBuffer_.push_back(start + config_.writeDrainCycles);
+}
+
+DecstationStats
+DecstationModel::run(TraceStream &stream, uint64_t max_instructions)
+{
+    TraceRecord rec;
+    while (stats_.instructions < max_instructions &&
+           stream.next(rec)) {
+        switch (rec.kind) {
+          case RefKind::InstrFetch:
+            ++stats_.instructions;
+            ++cycle_;
+            if (rec.asid == 1)
+                ++stats_.userInstructions;
+            if (!tlb_.access(rec.asid, rec.vaddr)) {
+                ++stats_.tlbMisses;
+                cycle_ += config_.tlbMissPenalty;
+            }
+            if (!icache_.access(rec.vaddr)) {
+                ++stats_.icacheMisses;
+                cycle_ += config_.cacheMissPenalty;
+            }
+            break;
+
+          case RefKind::DataRead:
+            if (!tlb_.access(rec.asid, rec.vaddr)) {
+                ++stats_.tlbMisses;
+                cycle_ += config_.tlbMissPenalty;
+            }
+            if (!dcache_.access(rec.vaddr)) {
+                ++stats_.dcacheMisses;
+                cycle_ += config_.cacheMissPenalty;
+            }
+            break;
+
+          case RefKind::DataWrite:
+            if (!tlb_.access(rec.asid, rec.vaddr)) {
+                ++stats_.tlbMisses;
+                cycle_ += config_.tlbMissPenalty;
+            }
+            // Write-through, no-allocate: update the D-cache if the
+            // word is present, never stall for the line.
+            if (dcache_.contains(rec.vaddr))
+                dcache_.access(rec.vaddr);
+            handleWrite();
+            break;
+        }
+    }
+    return stats_;
+}
+
+void
+DecstationModel::reset()
+{
+    icache_.invalidateAll();
+    icache_.resetStats();
+    dcache_.invalidateAll();
+    dcache_.resetStats();
+    tlb_.flushAll();
+    tlb_.resetStats();
+    writeBuffer_.clear();
+    cycle_ = 0;
+    const auto cache_penalty = stats_.cacheMissPenalty;
+    const auto tlb_penalty = stats_.tlbMissPenalty;
+    stats_ = DecstationStats{};
+    stats_.cacheMissPenalty = cache_penalty;
+    stats_.tlbMissPenalty = tlb_penalty;
+}
+
+} // namespace ibs

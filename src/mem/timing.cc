@@ -1,0 +1,20 @@
+/**
+ * @file
+ * MemoryTiming formatting.
+ */
+
+#include "mem/timing.h"
+
+#include <sstream>
+
+namespace ibs {
+
+std::string
+MemoryTiming::toString() const
+{
+    std::ostringstream os;
+    os << latencyCycles << "cyc/" << bytesPerCycle << "Bpc";
+    return os.str();
+}
+
+} // namespace ibs

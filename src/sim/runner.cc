@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Runner implementations.
+ */
+
+#include "sim/runner.h"
+
+#include <cstdlib>
+
+namespace ibs {
+
+uint64_t
+benchInstructions(uint64_t fallback)
+{
+    if (const char *env = std::getenv("IBS_BENCH_INSTR")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+FetchStats
+runFetch(const WorkloadSpec &spec, const FetchConfig &config,
+         uint64_t instructions, uint64_t seed)
+{
+    WorkloadModel model(spec, seed);
+    FetchEngine engine(config);
+    return engine.run(model, instructions);
+}
+
+SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
+                         uint64_t instructions_per_workload)
+{
+    names_.reserve(suite.size());
+    traces_.reserve(suite.size());
+    for (const WorkloadSpec &spec : suite) {
+        names_.push_back(spec.name);
+        WorkloadModel model(spec);
+        std::vector<uint64_t> addrs;
+        addrs.reserve(instructions_per_workload);
+        TraceRecord rec;
+        while (addrs.size() < instructions_per_workload &&
+               model.next(rec)) {
+            if (rec.isInstr())
+                addrs.push_back(rec.vaddr);
+        }
+        traces_.push_back(std::move(addrs));
+    }
+}
+
+FetchStats
+SuiteTraces::runOne(size_t i, const FetchConfig &config) const
+{
+    FetchEngine engine(config);
+    for (uint64_t addr : traces_[i])
+        engine.fetch(addr);
+    return engine.stats();
+}
+
+FetchStats
+SuiteTraces::runSuite(const FetchConfig &config) const
+{
+    FetchStats total;
+    for (size_t i = 0; i < traces_.size(); ++i)
+        total.merge(runOne(i, config));
+    return total;
+}
+
+} // namespace ibs

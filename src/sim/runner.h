@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment runners: glue between workloads, engines and benches.
+ *
+ * SuiteTraces materializes each workload's instruction stream once
+ * (the expensive part) and then replays it under many fetch
+ * configurations — the pattern every parameter-sweep bench uses.
+ * Suite-average statistics weight every workload equally, as the
+ * paper's suite averages do.
+ */
+
+#ifndef IBS_SIM_RUNNER_H
+#define IBS_SIM_RUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fetch_config.h"
+#include "core/fetch_engine.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace ibs {
+
+/** Instructions per workload used by benches unless overridden by
+ *  the IBS_BENCH_INSTR environment variable. */
+uint64_t benchInstructions(uint64_t fallback = 1'500'000);
+
+/**
+ * Generate one workload's stream and run it through a fetch
+ * configuration.
+ */
+FetchStats runFetch(const WorkloadSpec &spec, const FetchConfig &config,
+                    uint64_t instructions, uint64_t seed = 0);
+
+/** Pre-generated instruction traces for a suite of workloads. */
+class SuiteTraces
+{
+  public:
+    /**
+     * @param suite workload specs (instruction streams only)
+     * @param instructions_per_workload trace length for each
+     */
+    SuiteTraces(const std::vector<WorkloadSpec> &suite,
+                uint64_t instructions_per_workload);
+
+    size_t count() const { return traces_.size(); }
+    const std::string &name(size_t i) const { return names_[i]; }
+
+    /** Instruction addresses of workload `i`. */
+    const std::vector<uint64_t> &addresses(size_t i) const
+    {
+        return traces_[i];
+    }
+
+    /** Run one workload's trace through a configuration. */
+    FetchStats runOne(size_t i, const FetchConfig &config) const;
+
+    /** Run the whole suite and merge (equal-weight average). */
+    FetchStats runSuite(const FetchConfig &config) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<uint64_t>> traces_;
+};
+
+} // namespace ibs
+
+#endif // IBS_SIM_RUNNER_H

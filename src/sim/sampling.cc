@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SetSampledCache implementation.
+ */
+
+#include "sim/sampling.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ibs {
+
+namespace {
+
+CacheConfig
+sampleConfig(const CacheConfig &full, unsigned sample_log2)
+{
+    CacheConfig config = full;
+    if ((full.numSets() >> sample_log2) == 0)
+        throw std::invalid_argument(
+            "sampling factor exceeds the set count");
+    config.sizeBytes = full.sizeBytes >> sample_log2;
+    return config;
+}
+
+} // namespace
+
+SetSampledCache::SetSampledCache(const CacheConfig &config,
+                                 unsigned sample_log2, uint64_t match)
+    : fullConfig_(config),
+      sampleCache_(sampleConfig(config, sample_log2)),
+      mask_((uint64_t{1} << sample_log2) - 1), match_(match & mask_),
+      sampleLog2_(sample_log2)
+{
+    fullConfig_.validate();
+}
+
+void
+SetSampledCache::access(uint64_t addr)
+{
+    ++observed_;
+    const uint64_t set = fullConfig_.setIndex(addr);
+    if ((set & mask_) != match_)
+        return;
+    ++sampled_;
+
+    // Re-pack the address with the sampled (constant) set bits
+    // removed, so the reference lands in the corresponding set of
+    // the smaller sample cache while line identity is preserved.
+    const unsigned line_shift = fullConfig_.lineShift();
+    const unsigned set_bits = static_cast<unsigned>(
+        std::countr_zero(fullConfig_.numSets()));
+    const uint64_t low = addr & (fullConfig_.lineBytes - 1);
+    const uint64_t upper = addr >> (line_shift + set_bits);
+    const uint64_t sample_set = set >> sampleLog2_;
+    const uint64_t packed =
+        ((upper << (set_bits - sampleLog2_) | sample_set)
+         << line_shift) | low;
+
+    if (!sampleCache_.access(packed))
+        ++misses_;
+}
+
+} // namespace ibs

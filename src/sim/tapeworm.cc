@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tapeworm driver implementation.
+ */
+
+#include "sim/tapeworm.h"
+
+#include "cache/cache.h"
+#include "trace/stream.h"
+#include "vm/address_space.h"
+#include "workload/model.h"
+
+namespace ibs {
+
+TapewormResult
+runTapeworm(const WorkloadSpec &spec, const TapewormConfig &config,
+            uint64_t base_seed)
+{
+    // Materialize the workload's instruction trace once; trials vary
+    // only the OS page placement.
+    std::vector<TraceRecord> trace;
+    trace.reserve(config.instructions);
+    {
+        WorkloadModel model(spec);
+        TraceRecord rec;
+        while (trace.size() < config.instructions && model.next(rec)) {
+            if (rec.isInstr())
+                trace.push_back(rec);
+        }
+    }
+
+    TapewormResult result;
+    for (uint32_t trial = 0; trial < config.trials; ++trial) {
+        MemoryMap map(makeAllocator(config.policy, config.frames,
+                                    config.cache.colors(),
+                                    base_seed + trial));
+        Cache cache(config.cache);
+        uint64_t misses = 0;
+        for (const TraceRecord &rec : trace) {
+            const uint64_t paddr = map.translate(rec.asid, rec.vaddr);
+            if (!cache.access(paddr))
+                ++misses;
+        }
+        const double n = static_cast<double>(trace.size());
+        const double mpi = n > 0 ? static_cast<double>(misses) / n : 0;
+        result.mpi100.add(mpi * 100.0);
+        result.cpiInstr.add(mpi * config.missPenalty);
+    }
+    return result;
+}
+
+} // namespace ibs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Histogram implementations.
+ */
+
+#include "stats/histogram.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace ibs {
+
+LinearHistogram::LinearHistogram(size_t buckets, uint64_t width)
+    : counts_(buckets, 0), width_(width)
+{
+    assert(buckets >= 1);
+    assert(width >= 1);
+}
+
+void
+LinearHistogram::add(uint64_t value, uint64_t count)
+{
+    const size_t bucket = static_cast<size_t>(value / width_);
+    if (bucket >= counts_.size())
+        overflow_ += count;
+    else
+        counts_[bucket] += count;
+    total_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double
+LinearHistogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+uint64_t
+LinearHistogram::percentile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        acc += static_cast<double>(counts_[i]);
+        if (acc >= target)
+            return (i + 1) * width_ - 1;
+    }
+    return counts_.size() * width_; // overflow region
+}
+
+std::string
+LinearHistogram::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << i * width_ << "-" << (i + 1) * width_ - 1 << ": "
+           << counts_[i] << "\n";
+    }
+    if (overflow_)
+        os << ">=" << counts_.size() * width_ << ": " << overflow_ << "\n";
+    return os.str();
+}
+
+Log2Histogram::Log2Histogram(size_t max_bucket)
+    : counts_(max_bucket + 1, 0)
+{
+}
+
+size_t
+Log2Histogram::bucketOf(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<size_t>(std::bit_width(value) - 1);
+}
+
+void
+Log2Histogram::add(uint64_t value, uint64_t count)
+{
+    size_t b = bucketOf(value);
+    if (b >= counts_.size())
+        b = counts_.size() - 1;
+    counts_[b] += count;
+    total_ += count;
+}
+
+double
+Log2Histogram::cumulativeFraction(uint64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    size_t b = bucketOf(value);
+    if (b >= counts_.size())
+        b = counts_.size() - 1;
+    uint64_t acc = 0;
+    for (size_t i = 0; i <= b; ++i)
+        acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string
+Log2Histogram::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << "2^" << i << ": " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ibs

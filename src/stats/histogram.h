@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Histograms: linear-bucket and log2-bucket variants.
+ *
+ * Log2 histograms are used to characterize stack-distance and run-length
+ * distributions of generated traces (workload validation tests), linear
+ * histograms for per-set cache occupancy and placement-quality metrics.
+ */
+
+#ifndef IBS_STATS_HISTOGRAM_H
+#define IBS_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ibs {
+
+/** Fixed-width linear histogram over [0, buckets * width). */
+class LinearHistogram
+{
+  public:
+    /**
+     * @param buckets number of buckets (>= 1)
+     * @param width width of each bucket (>= 1)
+     */
+    LinearHistogram(size_t buckets, uint64_t width);
+
+    /** Record a value; values past the top land in the overflow bin. */
+    void add(uint64_t value, uint64_t count = 1);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t width() const { return width_; }
+    uint64_t count(size_t bucket) const { return counts_.at(bucket); }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+
+    /** Mean of recorded values (bucket midpoints for binned values). */
+    double mean() const;
+
+    /** Smallest value v such that at least fraction q of the mass is
+     *  at or below v's bucket (q in [0,1]). */
+    uint64_t percentile(double q) const;
+
+    /** Render as "lo-hi: count" lines for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t width_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Power-of-two-bucket histogram: bucket k holds [2^k, 2^(k+1)). */
+class Log2Histogram
+{
+  public:
+    /** @param max_bucket highest exponent tracked before overflow. */
+    explicit Log2Histogram(size_t max_bucket = 40);
+
+    void add(uint64_t value, uint64_t count = 1);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t count(size_t bucket) const { return counts_.at(bucket); }
+    uint64_t total() const { return total_; }
+
+    /** Fraction of mass in buckets <= the one containing value. */
+    double cumulativeFraction(uint64_t value) const;
+
+    std::string toString() const;
+
+  private:
+    static size_t bucketOf(uint64_t value);
+
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace ibs
+
+#endif // IBS_STATS_HISTOGRAM_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MonsterCapture implementation.
+ */
+
+#include "trace/monster.h"
+
+#include <cassert>
+
+namespace ibs {
+
+MonsterCapture::MonsterCapture(TraceStream &inner, MonsterConfig config)
+    : inner_(inner), config_(config)
+{
+    assert(config_.bufferRecords > 0);
+}
+
+bool
+MonsterCapture::next(TraceRecord &rec)
+{
+    // Drain any pending unload-handler references first.
+    if (handlerLeft_ > 0) {
+        rec.vaddr = handlerPc_;
+        rec.asid = KERNEL_ASID;
+        rec.kind = RefKind::InstrFetch;
+        handlerPc_ += 4;
+        --handlerLeft_;
+        ++injected_;
+        return true;
+    }
+
+    if (inSegment_ == config_.bufferRecords) {
+        // Buffer full: the machine stalls while the analyzer unloads.
+        ++stalls_;
+        inSegment_ = 0;
+        if (config_.unloadHandlerInstrs > 0) {
+            handlerLeft_ = config_.unloadHandlerInstrs;
+            handlerPc_ = config_.handlerBase;
+            return next(rec);
+        }
+    }
+
+    if (!inner_.next(rec))
+        return false;
+    ++inSegment_;
+    return true;
+}
+
+void
+MonsterCapture::reset()
+{
+    inner_.reset();
+    inSegment_ = 0;
+    handlerLeft_ = 0;
+    handlerPc_ = 0;
+    stalls_ = 0;
+    injected_ = 0;
+}
+
+} // namespace ibs

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * TraceRecord helpers.
+ */
+
+#include "trace/record.h"
+
+#include <cstdio>
+
+namespace ibs {
+
+const char *
+kindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::InstrFetch: return "I";
+      case RefKind::DataRead: return "R";
+      case RefKind::DataWrite: return "W";
+    }
+    return "?";
+}
+
+std::string
+toString(const TraceRecord &rec)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%s %u:0x%08llx", kindName(rec.kind),
+                  static_cast<unsigned>(rec.asid),
+                  static_cast<unsigned long long>(rec.vaddr));
+    return buf;
+}
+
+} // namespace ibs

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * TraceStream helpers.
+ */
+
+#include "trace/stream.h"
+
+namespace ibs {
+
+std::vector<TraceRecord>
+drain(TraceStream &stream, uint64_t max_records)
+{
+    std::vector<TraceRecord> out;
+    TraceRecord rec;
+    while (out.size() < max_records && stream.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+} // namespace ibs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CmlBuffer implementation.
+ */
+
+#include "vm/cml.h"
+
+#include <cassert>
+
+namespace ibs {
+
+CmlBuffer::CmlBuffer(uint64_t bins, const CmlConfig &config)
+    : config_(config), bins_(bins ? bins : 1)
+{
+}
+
+bool
+CmlBuffer::recordMiss(uint64_t bin, Asid asid, uint64_t vpn,
+                      CmlAdvice &advice)
+{
+    assert(bin < bins_.size());
+    BinState &state = bins_[bin];
+
+    const bool is_a = state.valid && state.asidA == asid &&
+        state.vpnA == vpn;
+    const bool is_b = state.valid && state.asidB == asid &&
+        state.vpnB == vpn;
+
+    if (!state.valid) {
+        state.valid = true;
+        state.asidA = asid;
+        state.vpnA = vpn;
+        state.asidB = asid;
+        state.vpnB = vpn;
+        state.lastWasA = true;
+        state.alternations = 0;
+        return false;
+    }
+
+    if (is_a || is_b) {
+        // The conflict signature: the two tracked pages taking turns.
+        const bool now_a = is_a;
+        if (now_a != state.lastWasA &&
+            (state.vpnA != state.vpnB || state.asidA != state.asidB))
+            ++state.alternations;
+        state.lastWasA = now_a;
+        if (state.alternations >= config_.alternationThreshold) {
+            advice.asid = asid;
+            advice.vpn = vpn;
+            state.valid = false;
+            ++triggers_;
+            return true;
+        }
+        return false;
+    }
+
+    // A third page: replace the non-last page (keep the hot pair
+    // candidates fresh) and halve the accumulated evidence.
+    if (state.lastWasA) {
+        state.asidB = asid;
+        state.vpnB = vpn;
+        state.lastWasA = false;
+    } else {
+        state.asidA = asid;
+        state.vpnA = vpn;
+        state.lastWasA = true;
+    }
+    // Keep the accumulated evidence: real conflict pairs re-emerge
+    // through interleaved capacity traffic.
+    return false;
+}
+
+void
+CmlBuffer::tick(uint64_t instructions)
+{
+    sinceEpoch_ += instructions;
+    if (sinceEpoch_ >= config_.epochInstructions) {
+        sinceEpoch_ = 0;
+        for (BinState &state : bins_)
+            state.alternations /= 2;
+    }
+}
+
+} // namespace ibs

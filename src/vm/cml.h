@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cache-miss lookaside (CML) buffer [Bershad94].
+ *
+ * §5.1 of the paper: "on-chip, associative L2 caches offer an
+ * attractive alternative to the recently-proposed cache miss
+ * lookaside (CML) buffers, which detect and remove conflict misses
+ * only after they begin to affect performance." To make that
+ * comparison runnable, this models the CML mechanism: a small table
+ * indexed by cache bin (page-sized cache region) watches the misses
+ * landing in each bin; when two pages *alternate* misses in one bin
+ * — the signature of a direct-mapped conflict, as opposed to plain
+ * capacity misses — past a threshold, the OS is interrupted and
+ * recolors one of the offenders, paying a page-copy cost.
+ */
+
+#ifndef IBS_VM_CML_H
+#define IBS_VM_CML_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace ibs {
+
+/** CML buffer parameters. */
+struct CmlConfig
+{
+    uint32_t alternationThreshold = 8;  ///< Ping-pongs before advice.
+    uint64_t epochInstructions = 200000; ///< Counter-decay period.
+    uint32_t remapCostCycles = 2000;     ///< Page copy + kernel time.
+};
+
+/** A page the CML buffer wants recolored. */
+struct CmlAdvice
+{
+    Asid asid = 0;
+    uint64_t vpn = 0;
+};
+
+/**
+ * Conflict detector: one entry per cache bin (cache bytes-per-way /
+ * page size bins). The driver reports every miss with the bin the
+ * physical address landed in and the faulting virtual page; advice
+ * comes back when a bin exhibits sustained two-page alternation.
+ */
+class CmlBuffer
+{
+  public:
+    /**
+     * @param bins number of page-sized cache bins (cache colors)
+     * @param config thresholds and costs
+     */
+    CmlBuffer(uint64_t bins, const CmlConfig &config);
+
+    /**
+     * Record a cache miss.
+     *
+     * @param bin cache color bin of the missed physical address
+     * @param asid faulting address space
+     * @param vpn faulting virtual page
+     * @param advice receives a page to recolor when triggered
+     * @retval true advice produced (bin state reset)
+     */
+    bool recordMiss(uint64_t bin, Asid asid, uint64_t vpn,
+                    CmlAdvice &advice);
+
+    /** Advance time; decays alternation counters every epoch. */
+    void tick(uint64_t instructions = 1);
+
+    uint64_t triggers() const { return triggers_; }
+    const CmlConfig &config() const { return config_; }
+
+  private:
+    struct BinState
+    {
+        Asid asidA = 0, asidB = 0;
+        uint64_t vpnA = 0, vpnB = 0;
+        bool lastWasA = false;
+        bool valid = false;
+        uint32_t alternations = 0;
+    };
+
+    CmlConfig config_;
+    std::vector<BinState> bins_;
+    uint64_t sinceEpoch_ = 0;
+    uint64_t triggers_ = 0;
+};
+
+} // namespace ibs
+
+#endif // IBS_VM_CML_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paging constants and helpers.
+ *
+ * The study machine (DECstation 3100, MIPS R2000) uses 4-KB pages;
+ * everything in the library assumes that page size but takes it as a
+ * parameter where it matters (TLB reach, page-coloring).
+ */
+
+#ifndef IBS_VM_PAGE_H
+#define IBS_VM_PAGE_H
+
+#include <cstdint>
+
+namespace ibs {
+
+/** Page size in bytes (MIPS R2000: 4 KB). */
+inline constexpr uint64_t PAGE_SIZE = 4096;
+
+/** log2(PAGE_SIZE). */
+inline constexpr unsigned PAGE_SHIFT = 12;
+
+/** Virtual or physical page number of an address. */
+inline constexpr uint64_t
+pageNumber(uint64_t addr)
+{
+    return addr >> PAGE_SHIFT;
+}
+
+/** Byte offset within a page. */
+inline constexpr uint64_t
+pageOffset(uint64_t addr)
+{
+    return addr & (PAGE_SIZE - 1);
+}
+
+/** Recompose an address from a page number and an offset. */
+inline constexpr uint64_t
+makeAddr(uint64_t pfn, uint64_t offset)
+{
+    return (pfn << PAGE_SHIFT) | (offset & (PAGE_SIZE - 1));
+}
+
+/**
+ * MIPS kseg0 test: kernel code/data in 0x80000000-0x9fffffff is
+ * direct-mapped (physical = virtual & 0x1fffffff) and never consults
+ * the page tables or TLB.
+ */
+inline constexpr bool
+isKseg0(uint64_t vaddr)
+{
+    return (vaddr & 0xe0000000ULL) == 0x80000000ULL;
+}
+
+/** Direct kseg0 translation. */
+inline constexpr uint64_t
+kseg0ToPhys(uint64_t vaddr)
+{
+    return vaddr & 0x1fffffffULL;
+}
+
+} // namespace ibs
+
+#endif // IBS_VM_PAGE_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Page-allocation policy implementations.
+ */
+
+#include "vm/page_allocator.h"
+
+#include <cassert>
+
+namespace ibs {
+
+RandomAllocator::RandomAllocator(uint64_t frames, uint64_t colors,
+                                 uint64_t seed)
+    : PageAllocator(frames, colors), rng_(seed)
+{
+    assert(frames > 0);
+}
+
+uint64_t
+RandomAllocator::pick(Asid asid, uint64_t vpn)
+{
+    (void)asid;
+    (void)vpn;
+    return rng_.nextBounded(frames_);
+}
+
+BinHoppingAllocator::BinHoppingAllocator(uint64_t frames,
+                                         uint64_t colors, uint64_t seed)
+    : PageAllocator(frames, colors), rng_(seed)
+{
+    assert(frames > 0);
+    // Start at a random color so different trials differ but each
+    // trial still spreads pages perfectly evenly.
+    nextColor_ = rng_.nextBounded(colors_);
+}
+
+uint64_t
+BinHoppingAllocator::pick(Asid asid, uint64_t vpn)
+{
+    (void)asid;
+    (void)vpn;
+    const uint64_t color = nextColor_;
+    nextColor_ = (nextColor_ + 1) % colors_;
+    // Pick a random frame of the required color.
+    const uint64_t frames_per_color = frames_ / colors_;
+    if (frames_per_color == 0)
+        return color % frames_;
+    const uint64_t idx = rng_.nextBounded(frames_per_color);
+    return idx * colors_ + color;
+}
+
+PageColoringAllocator::PageColoringAllocator(uint64_t frames,
+                                             uint64_t colors,
+                                             uint64_t seed)
+    : PageAllocator(frames, colors), rng_(seed)
+{
+    assert(frames > 0);
+}
+
+uint64_t
+PageColoringAllocator::pick(Asid asid, uint64_t vpn)
+{
+    (void)asid;
+    const uint64_t color = vpn % colors_;
+    const uint64_t frames_per_color = frames_ / colors_;
+    if (frames_per_color == 0)
+        return color % frames_;
+    const uint64_t idx = rng_.nextBounded(frames_per_color);
+    return idx * colors_ + color;
+}
+
+std::unique_ptr<PageAllocator>
+makeAllocator(PagePolicy policy, uint64_t frames, uint64_t colors,
+              uint64_t seed)
+{
+    switch (policy) {
+      case PagePolicy::Random:
+        return std::make_unique<RandomAllocator>(frames, colors, seed);
+      case PagePolicy::BinHopping:
+        return std::make_unique<BinHoppingAllocator>(frames, colors,
+                                                     seed);
+      case PagePolicy::PageColoring:
+        return std::make_unique<PageColoringAllocator>(frames, colors,
+                                                       seed);
+    }
+    return nullptr;
+}
+
+const char *
+policyName(PagePolicy policy)
+{
+    switch (policy) {
+      case PagePolicy::Random: return "random";
+      case PagePolicy::BinHopping: return "bin-hopping";
+      case PagePolicy::PageColoring: return "page-coloring";
+    }
+    return "?";
+}
+
+} // namespace ibs

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * OS physical-page allocation policies.
+ *
+ * In a physically-indexed cache larger than the page size, *which*
+ * physical frame the OS hands to each virtual code page decides which
+ * cache bins the page competes in. The paper (§5.1, Figure 5) shows
+ * that random mappings make CPIinstr vary from run to run, and cites
+ * careful page-placement policies [Kessler92, Bershad94] as the
+ * software remedy. This module implements the three classic policies
+ * so the Tapeworm driver can reproduce (and the tests can bound) that
+ * variability.
+ */
+
+#ifndef IBS_VM_PAGE_ALLOCATOR_H
+#define IBS_VM_PAGE_ALLOCATOR_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+#include "trace/record.h"
+
+namespace ibs {
+
+/**
+ * Abstract page allocator: assigns a physical frame to a faulting
+ * virtual page.
+ */
+class PageAllocator
+{
+  public:
+    /**
+     * @param frames number of physical frames in the managed pool
+     * @param colors number of cache page-colors (cache bytes per way /
+     *        PAGE_SIZE); used by placement-aware policies
+     */
+    PageAllocator(uint64_t frames, uint64_t colors)
+        : frames_(frames), colors_(colors ? colors : 1)
+    {}
+
+    virtual ~PageAllocator() = default;
+
+    /**
+     * Allocate a frame for (asid, vpn). Each frame is handed out at
+     * most once (pages never alias in physical memory); if the
+     * policy's first choice is taken, nearby frames of the same
+     * cache color are probed, so placement statistics are preserved.
+     * Once the pool is exhausted, frames recycle (the simulated
+     * workloads never get near that).
+     *
+     * @return physical frame number in [0, frames)
+     */
+    uint64_t
+    allocate(Asid asid, uint64_t vpn)
+    {
+        uint64_t frame = pick(asid, vpn);
+        if (allocated_.size() >= frames_)
+            return frame; // Pool exhausted: recycle frames.
+        // Probe same-color frames first (preserving the policy's
+        // placement statistics); if the whole color class is taken,
+        // fall back to a linear probe over the pool.
+        const uint64_t start = frame;
+        while (!allocated_.insert(frame).second) {
+            frame = (frame + colors_) % frames_;
+            if (frame == start) {
+                do {
+                    frame = (frame + 1) % frames_;
+                } while (allocated_.count(frame));
+                allocated_.insert(frame);
+                break;
+            }
+        }
+        return frame;
+    }
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    uint64_t frames() const { return frames_; }
+    uint64_t colors() const { return colors_; }
+
+  protected:
+    /** Policy hook: propose a frame for (asid, vpn). */
+    virtual uint64_t pick(Asid asid, uint64_t vpn) = 0;
+
+    uint64_t frames_;
+    uint64_t colors_;
+
+  private:
+    std::unordered_set<uint64_t> allocated_;
+};
+
+/**
+ * Uniformly random frame choice — the "unlucky OS" baseline whose
+ * conflict-miss variance Figure 5 measures.
+ */
+class RandomAllocator : public PageAllocator
+{
+  public:
+    RandomAllocator(uint64_t frames, uint64_t colors, uint64_t seed);
+
+    std::string name() const override { return "random"; }
+
+  protected:
+    uint64_t pick(Asid asid, uint64_t vpn) override;
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * Bin hopping: consecutive allocations walk the cache colors
+ * round-robin, spreading each task's pages evenly over the cache
+ * [Kessler92].
+ */
+class BinHoppingAllocator : public PageAllocator
+{
+  public:
+    BinHoppingAllocator(uint64_t frames, uint64_t colors, uint64_t seed);
+
+    std::string name() const override { return "bin-hopping"; }
+
+  protected:
+    uint64_t pick(Asid asid, uint64_t vpn) override;
+
+  private:
+    Rng rng_;
+    uint64_t nextColor_ = 0;
+};
+
+/**
+ * Page coloring: frame color matches the virtual page color, so the
+ * physical cache behaves like a virtually-indexed one [Kessler92].
+ */
+class PageColoringAllocator : public PageAllocator
+{
+  public:
+    PageColoringAllocator(uint64_t frames, uint64_t colors,
+                          uint64_t seed);
+
+    std::string name() const override { return "page-coloring"; }
+
+  protected:
+    uint64_t pick(Asid asid, uint64_t vpn) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Allocation policy selector. */
+enum class PagePolicy
+{
+    Random,
+    BinHopping,
+    PageColoring,
+};
+
+/** Factory over PagePolicy. */
+std::unique_ptr<PageAllocator> makeAllocator(PagePolicy policy,
+                                             uint64_t frames,
+                                             uint64_t colors,
+                                             uint64_t seed);
+
+/** Name of a PagePolicy. */
+const char *policyName(PagePolicy policy);
+
+} // namespace ibs
+
+#endif // IBS_VM_PAGE_ALLOCATOR_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The workload catalog: IBS and SPEC benchmark models.
+ *
+ * Each entry reconstructs one workload from the paper as a
+ * WorkloadSpec whose component structure follows Figure 2, whose
+ * execution-time breakdown follows Table 4, and whose statistical
+ * parameters are calibrated (tests/calibration_test.cc) so that the
+ * 8-KB direct-mapped MPI and its response to cache size, line size and
+ * associativity track the paper's measurements.
+ *
+ * Address-space convention: every component occupies a globally
+ * distinct virtual region (kernel in kseg0 at 0x80030000, user text at
+ * 0x00400000, BSD server at 0x08000000, X server at 0x0c000000), so
+ * virtually-indexed simulations need no ASID qualification while
+ * physically-indexed (Tapeworm) runs still translate per-ASID.
+ */
+
+#ifndef IBS_WORKLOAD_IBS_H
+#define IBS_WORKLOAD_IBS_H
+
+#include <string>
+#include <vector>
+
+#include "workload/params.h"
+
+namespace ibs {
+
+/** The eight IBS workloads (Table 2). */
+enum class IbsBenchmark
+{
+    MpegPlay, ///< Berkeley mpeg_play 2.0, 85 video frames.
+    JpegPlay, ///< xloadimage 3.0, two JPEG images.
+    Gs,       ///< Ghostscript 2.4.1 rendering a postscript page.
+    Verilog,  ///< Verilog-XL 1.6b simulating a GaAs CPU design.
+    Gcc,      ///< GNU C compiler 2.6 (newer than SPEC's).
+    Sdet,     ///< SPEC SDM multiprocess system benchmark.
+    Nroff,    ///< Ultrix 3.1 nroff.
+    Groff,    ///< GNU groff 1.09 (C++ nroff rewrite).
+};
+
+/** SPEC benchmarks modelled for comparison (Gee et al. sizing). */
+enum class SpecBenchmark
+{
+    Eqntott,  ///< "small" I-footprint integer benchmark.
+    Espresso, ///< "medium" I-footprint integer benchmark.
+    Gcc,      ///< "large" I-footprint integer benchmark (gcc 1.35).
+    Li,       ///< lisp interpreter.
+    Compress, ///< tiny-loop integer benchmark.
+    Sc,       ///< spreadsheet.
+    Doduc,    ///< fp, small I-footprint.
+    Tomcatv,  ///< fp, vectorizable, near-zero I-misses.
+};
+
+/** All IBS benchmarks in Table 4 order. */
+const std::vector<IbsBenchmark> &allIbsBenchmarks();
+
+/** All modelled SPEC benchmarks. */
+const std::vector<SpecBenchmark> &allSpecBenchmarks();
+
+/** Display name, e.g. "mpeg_play". */
+const char *benchmarkName(IbsBenchmark b);
+
+/** Display name, e.g. "eqntott". */
+const char *benchmarkName(SpecBenchmark b);
+
+/**
+ * Build the model of one IBS workload under the given OS.
+ *
+ * Under Mach 3.0 the workload has up to four components (user task,
+ * micro-kernel, BSD server, X server) with RPC-granularity switching;
+ * under Ultrix 3.1 the BSD server's work folds into a larger
+ * monolithic kernel, switching is coarser, and the user task loses the
+ * API-emulation library overhead.
+ */
+WorkloadSpec makeIbs(IbsBenchmark b, OsType os);
+
+/** Build the model of one SPEC benchmark (Ultrix, §3 methodology). */
+WorkloadSpec makeSpec(SpecBenchmark b);
+
+/** The whole IBS suite under one OS. */
+std::vector<WorkloadSpec> ibsSuite(OsType os);
+
+/** The modelled SPEC subset used for suite averages. */
+std::vector<WorkloadSpec> specSuite();
+
+/**
+ * Composite workloads reproducing the four Table 1 rows
+ * (SPECint89, SPECfp89, SPECint92, SPECfp92), with data references
+ * enabled for the DECstation CPI-component measurements.
+ */
+WorkloadSpec specComposite(const std::string &which);
+
+} // namespace ibs
+
+#endif // IBS_WORKLOAD_IBS_H

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cache/cache.h"
+#include "stats/rng.h"
+
+namespace ibs {
+namespace {
+
+CacheConfig
+cfg(uint64_t size, uint32_t assoc, uint32_t line,
+    Replacement repl = Replacement::LRU)
+{
+    return CacheConfig{size, assoc, line, repl};
+}
+
+TEST(CacheConfig, DerivedGeometry)
+{
+    const CacheConfig c = cfg(8 * 1024, 2, 32);
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.lineShift(), 5u);
+    EXPECT_EQ(c.lineAddr(0x1234), 0x1220u);
+    EXPECT_EQ(c.setIndex(0x1220), (0x1220u >> 5) & 127u);
+}
+
+TEST(CacheConfig, Colors)
+{
+    // 8-KB direct-mapped: 2 page colors; 8-KB 2-way: 1 color.
+    EXPECT_EQ(cfg(8 * 1024, 1, 32).colors(), 2u);
+    EXPECT_EQ(cfg(8 * 1024, 2, 32).colors(), 1u);
+    EXPECT_EQ(cfg(64 * 1024, 1, 32).colors(), 16u);
+}
+
+TEST(CacheConfig, ValidationRejectsBadGeometry)
+{
+    EXPECT_THROW(cfg(8 * 1024 + 1, 1, 32).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(cfg(8 * 1024, 1, 24).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(cfg(8 * 1024, 0, 32).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(cfg(8 * 1024, 3, 32).validate(),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(cfg(8 * 1024, 8, 32).validate());
+}
+
+TEST(CacheConfig, ToString)
+{
+    EXPECT_EQ(cfg(8 * 1024, 1, 32).toString(), "8KB/1-way/32B");
+    EXPECT_EQ(cfg(64 * 1024, 8, 64).toString(), "64KB/8-way/64B");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(cfg(1024, 1, 32));
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x11c)); // Same 32-byte line.
+    EXPECT_FALSE(c.access(0x120)); // Next line.
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.5);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 1-KB direct-mapped, 32-B lines: addresses 1 KB apart conflict.
+    Cache c(cfg(1024, 1, 32));
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x400));
+    EXPECT_FALSE(c.access(0x0)); // Evicted by 0x400.
+    EXPECT_FALSE(c.access(0x400));
+}
+
+TEST(Cache, TwoWayRemovesPingPong)
+{
+    Cache c(cfg(1024, 2, 32));
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x400));
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x400));
+}
+
+TEST(Cache, LruEvictsLeastRecent)
+{
+    // 2-way set: fill both ways, touch way A, insert third line ->
+    // way B (least recent) is evicted.
+    Cache c(cfg(1024, 2, 32));
+    ASSERT_FALSE(c.access(0x0));   // A
+    ASSERT_FALSE(c.access(0x400)); // B
+    ASSERT_TRUE(c.access(0x0));    // Touch A.
+    ASSERT_FALSE(c.access(0x800)); // Evicts B.
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x400));
+}
+
+TEST(Cache, FifoIgnoresTouches)
+{
+    Cache c(cfg(1024, 2, 32, Replacement::FIFO));
+    ASSERT_FALSE(c.access(0x0));   // Inserted first.
+    ASSERT_FALSE(c.access(0x400));
+    ASSERT_TRUE(c.access(0x0));    // Touch does not refresh FIFO age.
+    ASSERT_FALSE(c.access(0x800)); // Evicts 0x0 (oldest insertion).
+    EXPECT_FALSE(c.access(0x0));
+}
+
+TEST(Cache, RandomReplacementStaysInSet)
+{
+    Cache c(cfg(1024, 4, 32, Replacement::Random));
+    // Fill one set (set 0) beyond capacity; cache must keep exactly
+    // 4 of the 8 candidate lines and all hits must be real.
+    for (uint64_t i = 0; i < 8; ++i)
+        c.access(i * 1024 / 4 * 4); // 0, 0x400, 0x800, ... set 0.
+    EXPECT_EQ(c.validLines(), 4u);
+}
+
+TEST(Cache, ContainsDoesNotMutate)
+{
+    Cache c(cfg(1024, 1, 32));
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_EQ(c.accesses(), 0u);
+    c.access(0x100);
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(Cache, InsertWithoutCounting)
+{
+    Cache c(cfg(1024, 1, 32));
+    c.insert(0x100);
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_TRUE(c.access(0x100));
+}
+
+TEST(Cache, InsertTouchesRecency)
+{
+    Cache c(cfg(1024, 2, 32));
+    c.access(0x0);
+    c.access(0x400);
+    c.insert(0x0);     // Refresh line A.
+    c.access(0x800);   // Should evict 0x400.
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x400));
+}
+
+TEST(Cache, InvalidateSingleLine)
+{
+    Cache c(cfg(1024, 1, 32));
+    c.access(0x100);
+    c.invalidate(0x100);
+    EXPECT_FALSE(c.contains(0x100));
+    c.invalidate(0x200); // Absent: no-op.
+}
+
+TEST(Cache, InvalidateAllAndResetStats)
+{
+    Cache c(cfg(1024, 2, 32));
+    for (uint64_t a = 0; a < 1024; a += 32)
+        c.access(a);
+    EXPECT_GT(c.validLines(), 0u);
+    c.invalidateAll();
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_GT(c.accesses(), 0u);
+    c.resetStats();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, FullyAssociativeHoldsExactlyCapacity)
+{
+    Cache c(cfg(1024, 32, 32)); // Fully associative: 32 lines.
+    for (uint64_t i = 0; i < 32; ++i)
+        c.access(i * 32);
+    // All 32 lines hit.
+    for (uint64_t i = 0; i < 32; ++i)
+        EXPECT_TRUE(c.access(i * 32));
+    // A 33rd line evicts the LRU (line 0 after the loop above... the
+    // least recently touched is line 0 of the second pass order).
+    c.access(32 * 32);
+    EXPECT_EQ(c.validLines(), 32u);
+}
+
+/**
+ * Property sweep: on a fixed pseudo-random address stream, the miss
+ * count must be monotonically non-increasing in cache size (with
+ * LRU and fixed line size/assoc, bigger caches include smaller ones'
+ * hits for this stream class).
+ */
+class CacheMonotonicity
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheMonotonicity, MissesDecreaseWithSize)
+{
+    const auto [assoc, line] = GetParam();
+    Rng rng(2024);
+    std::vector<uint64_t> addrs;
+    uint64_t pc = 0;
+    for (int i = 0; i < 60000; ++i) {
+        if (rng.nextBool(0.2))
+            pc = rng.nextBounded(1 << 16) * 4;
+        addrs.push_back(pc);
+        pc += 4;
+    }
+    uint64_t prev_misses = UINT64_MAX;
+    for (uint64_t size = 1024; size <= 64 * 1024; size *= 2) {
+        Cache c(cfg(size, assoc, line));
+        for (uint64_t a : addrs)
+            c.access(a);
+        EXPECT_LE(c.misses(), prev_misses)
+            << "size " << size << " assoc " << assoc;
+        prev_misses = c.misses();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheMonotonicity,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(16u, 32u, 64u)));
+
+/**
+ * Property sweep: for a fixed size, higher associativity with LRU
+ * never increases misses *by much* on streaming workloads; we assert
+ * a weaker, always-true invariant — the fully-associative cache's
+ * misses lower-bound within 10% all other associativities (Belady
+ * anomalies for LRU-assoc do exist but are small on random streams).
+ */
+class CacheAssocSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CacheAssocSweep, AssociativityReducesConflicts)
+{
+    const uint64_t size = GetParam();
+    Rng rng(7);
+    std::vector<uint64_t> addrs;
+    uint64_t pc = 0;
+    for (int i = 0; i < 50000; ++i) {
+        if (rng.nextBool(0.25))
+            pc = rng.nextBounded(1 << 14) * 4;
+        addrs.push_back(pc);
+        pc += 4;
+    }
+
+    auto misses = [&](uint32_t assoc) {
+        Cache c(cfg(size, assoc, 32));
+        for (uint64_t a : addrs)
+            c.access(a);
+        return c.misses();
+    };
+
+    const uint64_t dm = misses(1);
+    const uint64_t eight = misses(8);
+    // 8-way removes conflict misses relative to direct-mapped — the
+    // exact property Figure 1's classification depends on.
+    EXPECT_LE(eight, dm + dm / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheAssocSweep,
+                         ::testing::Values(2048u, 8192u, 32768u));
+
+} // namespace
+} // namespace ibs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for FetchConfig factories and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fetch_config.h"
+
+namespace ibs {
+namespace {
+
+TEST(FetchConfig, EconomyBaselineMatchesTable5)
+{
+    const FetchConfig c = economyBaseline();
+    EXPECT_EQ(c.l1.sizeBytes, 8u * 1024);
+    EXPECT_EQ(c.l1.assoc, 1u);
+    EXPECT_EQ(c.l1.lineBytes, 32u);
+    EXPECT_EQ(c.l1Fill.latencyCycles, 30u);
+    EXPECT_EQ(c.l1Fill.bytesPerCycle, 4u);
+    EXPECT_FALSE(c.hasL2);
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FetchConfig, HighPerfBaselineMatchesTable5)
+{
+    const FetchConfig c = highPerfBaseline();
+    EXPECT_EQ(c.l1Fill.latencyCycles, 12u);
+    EXPECT_EQ(c.l1Fill.bytesPerCycle, 8u);
+    EXPECT_FALSE(c.hasL2);
+}
+
+TEST(FetchConfig, WithOnChipL2RewiresInterfaces)
+{
+    const FetchConfig c =
+        withOnChipL2(economyBaseline(), 64 * 1024, 64, 8);
+    EXPECT_TRUE(c.hasL2);
+    EXPECT_EQ(c.l2.sizeBytes, 64u * 1024);
+    EXPECT_EQ(c.l2.lineBytes, 64u);
+    EXPECT_EQ(c.l2.assoc, 8u);
+    // L1 now fills from the on-chip L2 at 6 cyc / 16 B-per-cycle.
+    EXPECT_EQ(c.l1Fill.latencyCycles, 6u);
+    EXPECT_EQ(c.l1Fill.bytesPerCycle, 16u);
+    // The old backing store fills the L2.
+    EXPECT_EQ(c.l2Fill.latencyCycles, 30u);
+    EXPECT_EQ(c.l2Fill.bytesPerCycle, 4u);
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FetchConfig, WithL1Bandwidth)
+{
+    const FetchConfig c =
+        withL1Bandwidth(withOnChipL2(highPerfBaseline(),
+                                     64 * 1024, 64, 8), 32);
+    EXPECT_EQ(c.l1Fill.bytesPerCycle, 32u);
+    EXPECT_EQ(c.l1Fill.latencyCycles, 6u);
+}
+
+TEST(FetchConfig, ValidationRules)
+{
+    FetchConfig c = economyBaseline();
+    c.pipelined = true;
+    c.prefetchLines = 2;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+
+    c = economyBaseline();
+    c.cachePrefetchOnlyIfUsed = true;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c.bypass = true;
+    EXPECT_NO_THROW(c.validate());
+
+    c = economyBaseline();
+    c.streamBufferLines = 4;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c.pipelined = true;
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FetchConfig, ToStringMentionsFeatures)
+{
+    FetchConfig c = withOnChipL2(economyBaseline(), 64 * 1024, 64, 8);
+    c.pipelined = true;
+    c.streamBufferLines = 6;
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("L1 8KB/1-way/32B"), std::string::npos);
+    EXPECT_NE(s.find("64KB/8-way/64B"), std::string::npos);
+    EXPECT_NE(s.find("6-line stream buffer"), std::string::npos);
+}
+
+} // namespace
+} // namespace ibs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the histogram classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+
+namespace ibs {
+namespace {
+
+TEST(LinearHistogram, BucketsValues)
+{
+    LinearHistogram h(4, 10);
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(39);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(LinearHistogram, OverflowBin)
+{
+    LinearHistogram h(2, 5);
+    h.add(100, 3);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, MeanUsesExactValues)
+{
+    LinearHistogram h(10, 10);
+    h.add(10);
+    h.add(20);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(LinearHistogram, WeightedAdd)
+{
+    LinearHistogram h(4, 1);
+    h.add(2, 7);
+    EXPECT_EQ(h.count(2), 7u);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(LinearHistogram, Percentile)
+{
+    LinearHistogram h(10, 1);
+    for (uint64_t v = 0; v < 10; ++v)
+        h.add(v);
+    EXPECT_LE(h.percentile(0.1), 1u);
+    EXPECT_GE(h.percentile(1.0), 9u);
+    EXPECT_EQ(h.percentile(0.5), 4u);
+}
+
+TEST(LinearHistogram, EmptyPercentileIsZero)
+{
+    LinearHistogram h(4, 4);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Log2Histogram, PowerOfTwoBuckets)
+{
+    Log2Histogram h;
+    h.add(0); // Bucket 0.
+    h.add(1); // Bucket 0.
+    h.add(2); // Bucket 1.
+    h.add(3); // Bucket 1.
+    h.add(4); // Bucket 2.
+    h.add(1024); // Bucket 10.
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(10), 1u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Log2Histogram, CumulativeFraction)
+{
+    Log2Histogram h;
+    h.add(1, 50);
+    h.add(16, 50);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(16), 1.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1u << 30), 1.0);
+}
+
+TEST(Log2Histogram, SaturatesAtMaxBucket)
+{
+    Log2Histogram h(4);
+    h.add(UINT64_MAX);
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, ToStringNonEmpty)
+{
+    LinearHistogram lin(4, 10);
+    lin.add(5);
+    EXPECT_NE(lin.toString().find("0-9: 1"), std::string::npos);
+
+    Log2Histogram log2;
+    log2.add(8);
+    EXPECT_NE(log2.toString().find("2^3: 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace ibs

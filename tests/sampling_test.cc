@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for set-sampling simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "sim/sampling.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace ibs {
+namespace {
+
+TEST(SetSampledCache, RejectsOversampling)
+{
+    // 1-KB DM with 32-B lines has 32 sets: 1-in-64 is impossible.
+    EXPECT_THROW(SetSampledCache(CacheConfig{1024, 1, 32,
+                                             Replacement::LRU}, 6),
+                 std::invalid_argument);
+}
+
+TEST(SetSampledCache, SampleRateMatchesFactor)
+{
+    SetSampledCache sim(CacheConfig{64 * 1024, 1, 32,
+                                    Replacement::LRU}, 3);
+    // A long sequential sweep touches all sets uniformly.
+    for (uint64_t a = 0; a < (1 << 20); a += 4)
+        sim.access(a);
+    EXPECT_NEAR(sim.samplingRate(), 1.0 / 8.0, 0.001);
+}
+
+TEST(SetSampledCache, ZeroFactorIsExact)
+{
+    // 1-in-1 sampling must agree exactly with a full simulation.
+    const CacheConfig config{8 * 1024, 1, 32, Replacement::LRU};
+    SetSampledCache sim(config, 0);
+    Cache full(config);
+    WorkloadModel model(makeIbs(IbsBenchmark::Gs, OsType::Mach));
+    TraceRecord rec;
+    uint64_t misses = 0;
+    for (int i = 0; i < 100000; ++i) {
+        model.next(rec);
+        if (!rec.isInstr())
+            continue;
+        sim.access(rec.vaddr);
+        if (!full.access(rec.vaddr))
+            ++misses;
+    }
+    EXPECT_EQ(sim.sampledMisses(), misses);
+    EXPECT_DOUBLE_EQ(sim.samplingRate(), 1.0);
+}
+
+TEST(SetSampledCache, EstimateConvergesToFullSimulation)
+{
+    // The headline property: 1-in-8 set sampling estimates the full
+    // cache's miss ratio within a few percent on a real workload.
+    const CacheConfig config{32 * 1024, 1, 32, Replacement::LRU};
+    SetSampledCache sampled(config, 3);
+    Cache full(config);
+    WorkloadModel model(makeIbs(IbsBenchmark::Verilog, OsType::Mach));
+    TraceRecord rec;
+    uint64_t n = 0, misses = 0;
+    while (n < 500000 && model.next(rec)) {
+        if (!rec.isInstr())
+            continue;
+        ++n;
+        sampled.access(rec.vaddr);
+        if (!full.access(rec.vaddr))
+            ++misses;
+    }
+    const double truth = static_cast<double>(misses) /
+        static_cast<double>(n);
+    EXPECT_NEAR(sampled.estimatedMissRatio(), truth, truth * 0.15);
+}
+
+TEST(SetSampledCache, DifferentResiduesBracketTruth)
+{
+    // Average of all residue-class estimates equals the full miss
+    // count by construction.
+    const CacheConfig config{16 * 1024, 1, 32, Replacement::LRU};
+    Cache full(config);
+    std::vector<SetSampledCache> sims;
+    for (uint64_t m = 0; m < 4; ++m)
+        sims.emplace_back(config, 2, m);
+
+    WorkloadModel model(makeIbs(IbsBenchmark::Gcc, OsType::Mach));
+    TraceRecord rec;
+    uint64_t n = 0, misses = 0;
+    while (n < 300000 && model.next(rec)) {
+        if (!rec.isInstr())
+            continue;
+        ++n;
+        for (auto &sim : sims)
+            sim.access(rec.vaddr);
+        if (!full.access(rec.vaddr))
+            ++misses;
+    }
+    uint64_t total_sampled_misses = 0;
+    uint64_t total_sampled = 0;
+    for (const auto &sim : sims) {
+        total_sampled_misses += sim.sampledMisses();
+        total_sampled += sim.sampled();
+    }
+    EXPECT_EQ(total_sampled, n);
+    EXPECT_EQ(total_sampled_misses, misses);
+}
+
+} // namespace
+} // namespace ibs
