@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bloat.dir/ablation_bloat.cc.o"
+  "CMakeFiles/ablation_bloat.dir/ablation_bloat.cc.o.d"
+  "ablation_bloat"
+  "ablation_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

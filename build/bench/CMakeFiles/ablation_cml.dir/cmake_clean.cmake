@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cml.dir/ablation_cml.cc.o"
+  "CMakeFiles/ablation_cml.dir/ablation_cml.cc.o.d"
+  "ablation_cml"
+  "ablation_cml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

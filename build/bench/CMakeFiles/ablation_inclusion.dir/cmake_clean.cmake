@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inclusion.dir/ablation_inclusion.cc.o"
+  "CMakeFiles/ablation_inclusion.dir/ablation_inclusion.cc.o.d"
+  "ablation_inclusion"
+  "ablation_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiissue.dir/ablation_multiissue.cc.o"
+  "CMakeFiles/ablation_multiissue.dir/ablation_multiissue.cc.o.d"
+  "ablation_multiissue"
+  "ablation_multiissue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiissue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

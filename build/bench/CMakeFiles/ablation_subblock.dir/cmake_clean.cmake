@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subblock.dir/ablation_subblock.cc.o"
+  "CMakeFiles/ablation_subblock.dir/ablation_subblock.cc.o.d"
+  "ablation_subblock"
+  "ablation_subblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_victim.dir/ablation_victim.cc.o"
+  "CMakeFiles/ablation_victim.dir/ablation_victim.cc.o.d"
+  "ablation_victim"
+  "ablation_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

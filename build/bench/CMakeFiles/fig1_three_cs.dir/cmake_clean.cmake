@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_three_cs.dir/fig1_three_cs.cc.o"
+  "CMakeFiles/fig1_three_cs.dir/fig1_three_cs.cc.o.d"
+  "fig1_three_cs"
+  "fig1_three_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_three_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_components.dir/fig2_components.cc.o"
+  "CMakeFiles/fig2_components.dir/fig2_components.cc.o.d"
+  "fig2_components"
+  "fig2_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_l2_linesize.dir/fig3_l2_linesize.cc.o"
+  "CMakeFiles/fig3_l2_linesize.dir/fig3_l2_linesize.cc.o.d"
+  "fig3_l2_linesize"
+  "fig3_l2_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_l2_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

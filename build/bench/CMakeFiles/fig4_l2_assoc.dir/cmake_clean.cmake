@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_l2_assoc.dir/fig4_l2_assoc.cc.o"
+  "CMakeFiles/fig4_l2_assoc.dir/fig4_l2_assoc.cc.o.d"
+  "fig4_l2_assoc"
+  "fig4_l2_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_l2_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_variability.dir/fig5_variability.cc.o"
+  "CMakeFiles/fig5_variability.dir/fig5_variability.cc.o.d"
+  "fig5_variability"
+  "fig5_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_summary.dir/fig7_summary.cc.o"
+  "CMakeFiles/fig7_summary.dir/fig7_summary.cc.o.d"
+  "fig7_summary"
+  "fig7_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

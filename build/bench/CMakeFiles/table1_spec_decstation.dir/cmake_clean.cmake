@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spec_decstation.dir/table1_spec_decstation.cc.o"
+  "CMakeFiles/table1_spec_decstation.dir/table1_spec_decstation.cc.o.d"
+  "table1_spec_decstation"
+  "table1_spec_decstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spec_decstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ibs_decstation.dir/table3_ibs_decstation.cc.o"
+  "CMakeFiles/table3_ibs_decstation.dir/table3_ibs_decstation.cc.o.d"
+  "table3_ibs_decstation"
+  "table3_ibs_decstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ibs_decstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ibs_mpi.dir/table4_ibs_mpi.cc.o"
+  "CMakeFiles/table4_ibs_mpi.dir/table4_ibs_mpi.cc.o.d"
+  "table4_ibs_mpi"
+  "table4_ibs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ibs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

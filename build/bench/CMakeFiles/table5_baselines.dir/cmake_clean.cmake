@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_baselines.dir/table5_baselines.cc.o"
+  "CMakeFiles/table5_baselines.dir/table5_baselines.cc.o.d"
+  "table5_baselines"
+  "table5_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_prefetch.dir/table6_prefetch.cc.o"
+  "CMakeFiles/table6_prefetch.dir/table6_prefetch.cc.o.d"
+  "table6_prefetch"
+  "table6_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_bypass.dir/table7_bypass.cc.o"
+  "CMakeFiles/table7_bypass.dir/table7_bypass.cc.o.d"
+  "table7_bypass"
+  "table7_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

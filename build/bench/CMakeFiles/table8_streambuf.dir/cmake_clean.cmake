@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_streambuf.dir/table8_streambuf.cc.o"
+  "CMakeFiles/table8_streambuf.dir/table8_streambuf.cc.o.d"
+  "table8_streambuf"
+  "table8_streambuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_streambuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/ibs_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/ibs_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/config.cc" "src/cache/CMakeFiles/ibs_cache.dir/config.cc.o" "gcc" "src/cache/CMakeFiles/ibs_cache.dir/config.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/ibs_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/ibs_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/subblock.cc" "src/cache/CMakeFiles/ibs_cache.dir/subblock.cc.o" "gcc" "src/cache/CMakeFiles/ibs_cache.dir/subblock.cc.o.d"
+  "/root/repo/src/cache/three_c.cc" "src/cache/CMakeFiles/ibs_cache.dir/three_c.cc.o" "gcc" "src/cache/CMakeFiles/ibs_cache.dir/three_c.cc.o.d"
+  "/root/repo/src/cache/victim.cc" "src/cache/CMakeFiles/ibs_cache.dir/victim.cc.o" "gcc" "src/cache/CMakeFiles/ibs_cache.dir/victim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ibs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

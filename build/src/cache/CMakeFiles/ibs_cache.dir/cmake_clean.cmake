@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_cache.dir/cache.cc.o"
+  "CMakeFiles/ibs_cache.dir/cache.cc.o.d"
+  "CMakeFiles/ibs_cache.dir/config.cc.o"
+  "CMakeFiles/ibs_cache.dir/config.cc.o.d"
+  "CMakeFiles/ibs_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/ibs_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ibs_cache.dir/subblock.cc.o"
+  "CMakeFiles/ibs_cache.dir/subblock.cc.o.d"
+  "CMakeFiles/ibs_cache.dir/three_c.cc.o"
+  "CMakeFiles/ibs_cache.dir/three_c.cc.o.d"
+  "CMakeFiles/ibs_cache.dir/victim.cc.o"
+  "CMakeFiles/ibs_cache.dir/victim.cc.o.d"
+  "libibs_cache.a"
+  "libibs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_core.dir/decstation.cc.o"
+  "CMakeFiles/ibs_core.dir/decstation.cc.o.d"
+  "CMakeFiles/ibs_core.dir/fetch_config.cc.o"
+  "CMakeFiles/ibs_core.dir/fetch_config.cc.o.d"
+  "CMakeFiles/ibs_core.dir/fetch_engine.cc.o"
+  "CMakeFiles/ibs_core.dir/fetch_engine.cc.o.d"
+  "libibs_core.a"
+  "libibs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

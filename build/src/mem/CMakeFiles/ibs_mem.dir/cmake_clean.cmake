@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_mem.dir/timing.cc.o"
+  "CMakeFiles/ibs_mem.dir/timing.cc.o.d"
+  "libibs_mem.a"
+  "libibs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

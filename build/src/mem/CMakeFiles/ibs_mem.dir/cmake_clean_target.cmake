@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibs_mem.a"
+)

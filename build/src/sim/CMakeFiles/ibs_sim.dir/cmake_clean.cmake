@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_sim.dir/cml_sim.cc.o"
+  "CMakeFiles/ibs_sim.dir/cml_sim.cc.o.d"
+  "CMakeFiles/ibs_sim.dir/runner.cc.o"
+  "CMakeFiles/ibs_sim.dir/runner.cc.o.d"
+  "CMakeFiles/ibs_sim.dir/sampling.cc.o"
+  "CMakeFiles/ibs_sim.dir/sampling.cc.o.d"
+  "CMakeFiles/ibs_sim.dir/tapeworm.cc.o"
+  "CMakeFiles/ibs_sim.dir/tapeworm.cc.o.d"
+  "libibs_sim.a"
+  "libibs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_stats.dir/histogram.cc.o"
+  "CMakeFiles/ibs_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ibs_stats.dir/rng.cc.o"
+  "CMakeFiles/ibs_stats.dir/rng.cc.o.d"
+  "CMakeFiles/ibs_stats.dir/table.cc.o"
+  "CMakeFiles/ibs_stats.dir/table.cc.o.d"
+  "libibs_stats.a"
+  "libibs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_tlb.dir/tlb.cc.o"
+  "CMakeFiles/ibs_tlb.dir/tlb.cc.o.d"
+  "libibs_tlb.a"
+  "libibs_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/file.cc" "src/trace/CMakeFiles/ibs_trace.dir/file.cc.o" "gcc" "src/trace/CMakeFiles/ibs_trace.dir/file.cc.o.d"
+  "/root/repo/src/trace/monster.cc" "src/trace/CMakeFiles/ibs_trace.dir/monster.cc.o" "gcc" "src/trace/CMakeFiles/ibs_trace.dir/monster.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/ibs_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/ibs_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/stream.cc" "src/trace/CMakeFiles/ibs_trace.dir/stream.cc.o" "gcc" "src/trace/CMakeFiles/ibs_trace.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ibs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

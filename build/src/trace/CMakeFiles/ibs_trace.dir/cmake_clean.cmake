@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_trace.dir/file.cc.o"
+  "CMakeFiles/ibs_trace.dir/file.cc.o.d"
+  "CMakeFiles/ibs_trace.dir/monster.cc.o"
+  "CMakeFiles/ibs_trace.dir/monster.cc.o.d"
+  "CMakeFiles/ibs_trace.dir/record.cc.o"
+  "CMakeFiles/ibs_trace.dir/record.cc.o.d"
+  "CMakeFiles/ibs_trace.dir/stream.cc.o"
+  "CMakeFiles/ibs_trace.dir/stream.cc.o.d"
+  "libibs_trace.a"
+  "libibs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

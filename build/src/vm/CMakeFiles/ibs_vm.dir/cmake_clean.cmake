@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_vm.dir/address_space.cc.o"
+  "CMakeFiles/ibs_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/ibs_vm.dir/cml.cc.o"
+  "CMakeFiles/ibs_vm.dir/cml.cc.o.d"
+  "CMakeFiles/ibs_vm.dir/page_allocator.cc.o"
+  "CMakeFiles/ibs_vm.dir/page_allocator.cc.o.d"
+  "libibs_vm.a"
+  "libibs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ibs.cc" "src/workload/CMakeFiles/ibs_workload.dir/ibs.cc.o" "gcc" "src/workload/CMakeFiles/ibs_workload.dir/ibs.cc.o.d"
+  "/root/repo/src/workload/layout.cc" "src/workload/CMakeFiles/ibs_workload.dir/layout.cc.o" "gcc" "src/workload/CMakeFiles/ibs_workload.dir/layout.cc.o.d"
+  "/root/repo/src/workload/model.cc" "src/workload/CMakeFiles/ibs_workload.dir/model.cc.o" "gcc" "src/workload/CMakeFiles/ibs_workload.dir/model.cc.o.d"
+  "/root/repo/src/workload/walker.cc" "src/workload/CMakeFiles/ibs_workload.dir/walker.cc.o" "gcc" "src/workload/CMakeFiles/ibs_workload.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ibs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ibs_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

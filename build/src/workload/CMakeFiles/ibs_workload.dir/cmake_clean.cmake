@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_workload.dir/ibs.cc.o"
+  "CMakeFiles/ibs_workload.dir/ibs.cc.o.d"
+  "CMakeFiles/ibs_workload.dir/layout.cc.o"
+  "CMakeFiles/ibs_workload.dir/layout.cc.o.d"
+  "CMakeFiles/ibs_workload.dir/model.cc.o"
+  "CMakeFiles/ibs_workload.dir/model.cc.o.d"
+  "CMakeFiles/ibs_workload.dir/walker.cc.o"
+  "CMakeFiles/ibs_workload.dir/walker.cc.o.d"
+  "libibs_workload.a"
+  "libibs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

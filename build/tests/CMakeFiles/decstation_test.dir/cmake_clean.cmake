@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decstation_test.dir/decstation_test.cc.o"
+  "CMakeFiles/decstation_test.dir/decstation_test.cc.o.d"
+  "decstation_test"
+  "decstation_test.pdb"
+  "decstation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decstation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

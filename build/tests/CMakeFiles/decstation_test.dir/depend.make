@@ -1,0 +1,2 @@
+# Empty dependencies file for decstation_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_config_test.dir/fetch_config_test.cc.o"
+  "CMakeFiles/fetch_config_test.dir/fetch_config_test.cc.o.d"
+  "fetch_config_test"
+  "fetch_config_test.pdb"
+  "fetch_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_engine_test.dir/fetch_engine_test.cc.o"
+  "CMakeFiles/fetch_engine_test.dir/fetch_engine_test.cc.o.d"
+  "fetch_engine_test"
+  "fetch_engine_test.pdb"
+  "fetch_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subblock_test.dir/subblock_test.cc.o"
+  "CMakeFiles/subblock_test.dir/subblock_test.cc.o.d"
+  "subblock_test"
+  "subblock_test.pdb"
+  "subblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

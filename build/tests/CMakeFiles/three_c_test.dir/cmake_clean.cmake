@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_c_test.dir/three_c_test.cc.o"
+  "CMakeFiles/three_c_test.dir/three_c_test.cc.o.d"
+  "three_c_test"
+  "three_c_test.pdb"
+  "three_c_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_l2_test.dir/unified_l2_test.cc.o"
+  "CMakeFiles/unified_l2_test.dir/unified_l2_test.cc.o.d"
+  "unified_l2_test"
+  "unified_l2_test.pdb"
+  "unified_l2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_l2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
