@@ -18,6 +18,7 @@
 
 #include "core/fetch_config.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -29,17 +30,23 @@ void
 sweep(const std::string &title, const FetchConfig &base,
       const SuiteTraces &suite, double baseline_cpi)
 {
+    const std::vector<uint32_t> lines = {8, 16, 32, 64, 128, 256};
+    const std::vector<uint64_t> sizes_kb = {16, 32, 64, 128, 256};
+    std::vector<FetchConfig> grid;
+    grid.reserve(lines.size() * sizes_kb.size());
+    for (uint32_t line : lines)
+        for (uint64_t kb : sizes_kb)
+            grid.push_back(withOnChipL2(base, kb * 1024, line, 1));
+    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+
     TextTable table(title);
     table.setHeader({"L2 line", "16KB", "32KB", "64KB", "128KB",
                      "256KB"});
-    for (uint32_t line : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    size_t cell = 0;
+    for (uint32_t line : lines) {
         std::vector<std::string> row = {std::to_string(line) + "B"};
-        for (uint64_t kb : {16u, 32u, 64u, 128u, 256u}) {
-            const FetchConfig c =
-                withOnChipL2(base, kb * 1024, line, 1);
-            row.push_back(
-                TextTable::num(suite.runSuite(c).cpiInstr()));
-        }
+        for (size_t s = 0; s < sizes_kb.size(); ++s)
+            row.push_back(TextTable::num(stats[cell++].cpiInstr()));
         table.addRow(row);
     }
     std::cout << table.render()
@@ -57,10 +64,10 @@ main()
     const uint64_t n = benchInstructions(1000000);
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
-    const double econ_base =
-        suite.runSuite(economyBaseline()).cpiInstr();
-    const double perf_base =
-        suite.runSuite(highPerfBaseline()).cpiInstr();
+    const std::vector<FetchStats> base_stats =
+        sweepSuite(suite, {economyBaseline(), highPerfBaseline()});
+    const double econ_base = base_stats[0].cpiInstr();
+    const double perf_base = base_stats[1].cpiInstr();
 
     sweep("Figure 3a: Total CPIinstr vs L2 line size — Economy "
           "(IBS avg, DM L2)",

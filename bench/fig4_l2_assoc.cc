@@ -14,6 +14,7 @@
 
 #include "core/fetch_config.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -25,17 +26,33 @@ main()
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
+    // §5.1 footnote 1: the associative lookup may stretch the L2
+    // access by a full cycle, raising the L1 fill latency from 6 to
+    // 7 cycles (L1 contribution 0.34 -> 0.38 in the paper).
+    FetchConfig slower =
+        withOnChipL2(economyBaseline(), 64 * 1024, 64, 8);
+    slower.l1Fill.latencyCycles = 7;
+
+    const std::vector<uint32_t> assocs = {1, 2, 4, 8};
+    std::vector<FetchConfig> grid;
+    for (uint32_t assoc : assocs) {
+        grid.push_back(
+            withOnChipL2(economyBaseline(), 64 * 1024, 64, assoc));
+        grid.push_back(
+            withOnChipL2(highPerfBaseline(), 64 * 1024, 64, assoc));
+    }
+    grid.push_back(slower);
+    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+
     TextTable table("Figure 4: Total CPIinstr vs 64KB-L2 "
                     "associativity (IBS avg, 64B L2 lines)");
     table.setHeader({"L2 assoc", "Economy", "High-Performance",
                      "Economy L1/L2 split"});
-    for (uint32_t assoc : {1u, 2u, 4u, 8u}) {
-        const FetchStats econ = suite.runSuite(
-            withOnChipL2(economyBaseline(), 64 * 1024, 64, assoc));
-        const FetchStats perf = suite.runSuite(
-            withOnChipL2(highPerfBaseline(), 64 * 1024, 64, assoc));
+    for (size_t a = 0; a < assocs.size(); ++a) {
+        const FetchStats &econ = stats[2 * a];
+        const FetchStats &perf = stats[2 * a + 1];
         table.addRow({
-            std::to_string(assoc) + "-way",
+            std::to_string(assocs[a]) + "-way",
             TextTable::num(econ.cpiInstr()),
             TextTable::num(perf.cpiInstr()),
             TextTable::num(econ.l1Cpi()) + " + " +
@@ -44,13 +61,7 @@ main()
     }
     std::cout << table.render();
 
-    // §5.1 footnote 1: the associative lookup may stretch the L2
-    // access by a full cycle, raising the L1 fill latency from 6 to
-    // 7 cycles (L1 contribution 0.34 -> 0.38 in the paper).
-    FetchConfig slower =
-        withOnChipL2(economyBaseline(), 64 * 1024, 64, 8);
-    slower.l1Fill.latencyCycles = 7;
-    const FetchStats slow = suite.runSuite(slower);
+    const FetchStats &slow = stats.back();
     std::cout << "\nfootnote: with a 7-cycle L2 (slower associative "
                  "lookup), L1 CPIinstr = "
               << TextTable::num(slow.l1Cpi())

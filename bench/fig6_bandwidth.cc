@@ -14,6 +14,7 @@
 
 #include "core/fetch_config.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -35,17 +36,27 @@ main()
         header.push_back(std::to_string(bw) + " B/cyc");
     table.setHeader(header);
 
+    std::vector<FetchConfig> configs;
+    configs.reserve(lines.size() * bandwidths.size());
+    for (uint32_t line : lines) {
+        for (uint32_t bw : bandwidths) {
+            FetchConfig c;
+            c.l1 = CacheConfig{8 * 1024, 1, line, Replacement::LRU};
+            c.l1Fill = MemoryTiming{6, bw};
+            configs.push_back(c);
+        }
+    }
+    const std::vector<FetchStats> stats = sweepSuite(suite, configs);
+
     std::vector<double> best(bandwidths.size(),
                              std::numeric_limits<double>::max());
     std::vector<uint32_t> best_line(bandwidths.size(), 0);
     std::vector<std::vector<double>> grid;
+    size_t cell = 0;
     for (uint32_t line : lines) {
         std::vector<double> row;
         for (size_t bi = 0; bi < bandwidths.size(); ++bi) {
-            FetchConfig c;
-            c.l1 = CacheConfig{8 * 1024, 1, line, Replacement::LRU};
-            c.l1Fill = MemoryTiming{6, bandwidths[bi]};
-            const double cpi = suite.runSuite(c).cpiInstr();
+            const double cpi = stats[cell++].cpiInstr();
             row.push_back(cpi);
             if (cpi < best[bi]) {
                 best[bi] = cpi;

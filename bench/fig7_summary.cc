@@ -23,6 +23,7 @@
 
 #include "core/fetch_config.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -64,12 +65,19 @@ void
 emit(const std::string &title, const FetchConfig &baseline,
      const SuiteTraces &suite)
 {
+    const auto steps = ladder(baseline);
+    std::vector<FetchConfig> grid;
+    grid.reserve(steps.size());
+    for (const auto &[name, config] : steps)
+        grid.push_back(config);
+    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+
     TextTable table(title);
     table.setHeader({"step", "L1 CPIinstr", "L2 CPIinstr",
                      "total CPIinstr"});
-    for (const auto &[name, config] : ladder(baseline)) {
-        const FetchStats s = suite.runSuite(config);
-        table.addRow({name, TextTable::num(s.l1Cpi()),
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const FetchStats &s = stats[i];
+        table.addRow({steps[i].first, TextTable::num(s.l1Cpi()),
                       TextTable::num(s.l2Cpi()),
                       TextTable::num(s.cpiInstr())});
     }

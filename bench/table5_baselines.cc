@@ -14,6 +14,7 @@
 
 #include "core/fetch_config.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -26,21 +27,21 @@ main()
     SuiteTraces spec(specSuite(), n);
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
-    const FetchConfig economy = economyBaseline();
-    const FetchConfig highperf = highPerfBaseline();
+    const std::vector<FetchConfig> grid = {economyBaseline(),
+                                           highPerfBaseline()};
+    const std::vector<FetchStats> on_spec = sweepSuite(spec, grid);
+    const std::vector<FetchStats> on_ibs = sweepSuite(suite, grid);
 
     TextTable table("Table 5: CPIinstr for base system configurations");
     table.setHeader({"", "Economy", "High Performance"});
     table.addRow({"Latency to first word (cycles)", "30", "12"});
     table.addRow({"Bandwidth (bytes/cycle)", "4", "8"});
     table.addRow({"CPIinstr (SPEC)",
-                  TextTable::num(spec.runSuite(economy).cpiInstr(), 2),
-                  TextTable::num(spec.runSuite(highperf).cpiInstr(),
-                                 2)});
+                  TextTable::num(on_spec[0].cpiInstr(), 2),
+                  TextTable::num(on_spec[1].cpiInstr(), 2)});
     table.addRow({"CPIinstr (IBS)",
-                  TextTable::num(suite.runSuite(economy).cpiInstr(), 2),
-                  TextTable::num(suite.runSuite(highperf).cpiInstr(),
-                                 2)});
+                  TextTable::num(on_ibs[0].cpiInstr(), 2),
+                  TextTable::num(on_ibs[1].cpiInstr(), 2)});
     std::cout << table.render();
     std::cout << "\npaper:  SPEC 0.54 / 0.18,  IBS 1.77 / 0.72\n";
     return 0;

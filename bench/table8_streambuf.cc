@@ -23,6 +23,7 @@
 
 #include "core/fetch_config.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -34,23 +35,33 @@ main()
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
-    TextTable table("Table 8: Pipelined System with a Stream Buffer "
-                    "(L1 CPIinstr, IBS avg, 8KB DM)");
-    table.setHeader({"Stream buffer lines", "16 B/cyc", "32 B/cyc"});
-
-    for (uint32_t lines : {0u, 1u, 3u, 6u, 12u, 18u}) {
-        std::vector<std::string> row = {
-            TextTable::num(uint64_t{lines})};
-        for (uint32_t bw : {16u, 32u}) {
+    const std::vector<uint32_t> depths = {0, 1, 3, 6, 12, 18};
+    const std::vector<uint32_t> bws = {16, 32};
+    std::vector<FetchConfig> grid;
+    grid.reserve(depths.size() * bws.size());
+    for (uint32_t lines : depths) {
+        for (uint32_t bw : bws) {
             FetchConfig c;
             // Line size = interface bandwidth (one beat per line).
             c.l1 = CacheConfig{8 * 1024, 1, bw, Replacement::LRU};
             c.l1Fill = MemoryTiming{6, bw};
             c.pipelined = true;
             c.streamBufferLines = lines;
-            row.push_back(
-                TextTable::num(suite.runSuite(c).cpiInstr()));
+            grid.push_back(c);
         }
+    }
+    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+
+    TextTable table("Table 8: Pipelined System with a Stream Buffer "
+                    "(L1 CPIinstr, IBS avg, 8KB DM)");
+    table.setHeader({"Stream buffer lines", "16 B/cyc", "32 B/cyc"});
+
+    size_t cell = 0;
+    for (uint32_t lines : depths) {
+        std::vector<std::string> row = {
+            TextTable::num(uint64_t{lines})};
+        for (size_t b = 0; b < bws.size(); ++b)
+            row.push_back(TextTable::num(stats[cell++].cpiInstr()));
         table.addRow(row);
     }
     std::cout << table.render();

@@ -231,4 +231,4 @@ bench/CMakeFiles/fig3_l2_linesize.dir/fig3_l2_linesize.cc.o: \
  /root/repo/src/workload/params.h /root/repo/src/workload/model.h \
  /root/repo/src/stats/rng.h /usr/include/c++/12/cstddef \
  /root/repo/src/workload/layout.h /root/repo/src/workload/walker.h \
- /root/repo/src/stats/table.h
+ /root/repo/src/sim/sweep.h /root/repo/src/stats/table.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/cml_sim.cc" "src/sim/CMakeFiles/ibs_sim.dir/cml_sim.cc.o" "gcc" "src/sim/CMakeFiles/ibs_sim.dir/cml_sim.cc.o.d"
   "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/ibs_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/ibs_sim.dir/runner.cc.o.d"
   "/root/repo/src/sim/sampling.cc" "src/sim/CMakeFiles/ibs_sim.dir/sampling.cc.o" "gcc" "src/sim/CMakeFiles/ibs_sim.dir/sampling.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/ibs_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/ibs_sim.dir/sweep.cc.o.d"
   "/root/repo/src/sim/tapeworm.cc" "src/sim/CMakeFiles/ibs_sim.dir/tapeworm.cc.o" "gcc" "src/sim/CMakeFiles/ibs_sim.dir/tapeworm.cc.o.d"
   )
 

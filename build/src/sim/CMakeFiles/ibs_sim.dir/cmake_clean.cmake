@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ibs_sim.dir/runner.cc.o.d"
   "CMakeFiles/ibs_sim.dir/sampling.cc.o"
   "CMakeFiles/ibs_sim.dir/sampling.cc.o.d"
+  "CMakeFiles/ibs_sim.dir/sweep.cc.o"
+  "CMakeFiles/ibs_sim.dir/sweep.cc.o.d"
   "CMakeFiles/ibs_sim.dir/tapeworm.cc.o"
   "CMakeFiles/ibs_sim.dir/tapeworm.cc.o.d"
   "libibs_sim.a"

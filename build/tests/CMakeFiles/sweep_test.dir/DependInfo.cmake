@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sweep_test.cc" "tests/CMakeFiles/sweep_test.dir/sweep_test.cc.o" "gcc" "tests/CMakeFiles/sweep_test.dir/sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ibs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ibs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/ibs_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ibs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ibs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ibs_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

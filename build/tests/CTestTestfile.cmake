@@ -22,6 +22,7 @@ include("/root/repo/build/tests/fetch_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/decstation_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
 include("/root/repo/build/tests/cml_test[1]_include.cmake")
 include("/root/repo/build/tests/unified_l2_test[1]_include.cmake")
 include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")

@@ -5,6 +5,7 @@
 
 #include "cache/cache.h"
 
+#include <bit>
 #include <cassert>
 
 namespace ibs {
@@ -59,11 +60,20 @@ Cache::victimWay(uint64_t set)
         return victim;
       }
       case Replacement::Random: {
-        // 16-bit Galois LFSR: deterministic pseudo-random victim.
-        const uint64_t bit = ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^
-                              (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u;
-        lfsr_ = (lfsr_ >> 1) | (bit << 15);
-        return static_cast<uint32_t>(lfsr_ % config_.assoc);
+        // Deterministic 16-bit Galois LFSR, drawn without modulo
+        // bias: mask to the next power of two >= assoc and redraw
+        // until the value lands in range. For power-of-two
+        // associativity every draw is accepted, so victim sequences
+        // are unchanged there.
+        const uint64_t mask = std::bit_ceil(uint64_t{config_.assoc}) - 1;
+        for (;;) {
+            const uint64_t bit = ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^
+                                  (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u;
+            lfsr_ = (lfsr_ >> 1) | (bit << 15);
+            const uint64_t draw = lfsr_ & mask;
+            if (draw < config_.assoc)
+                return static_cast<uint32_t>(draw);
+        }
       }
     }
     return 0;

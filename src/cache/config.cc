@@ -33,13 +33,17 @@ isPow2(uint64_t v)
 void
 CacheConfig::validate() const
 {
-    if (!isPow2(sizeBytes))
-        throw std::invalid_argument("cache size must be a power of two");
+    // The size itself need not be a power of two (a 3-way 384-B cache
+    // is legal); only the *set count* must be, because setIndex masks
+    // address bits.
     if (!isPow2(lineBytes) || lineBytes < 4)
         throw std::invalid_argument(
             "line size must be a power of two >= 4");
     if (assoc == 0)
         throw std::invalid_argument("associativity must be >= 1");
+    if (sizeBytes == 0 || sizeBytes % lineBytes != 0)
+        throw std::invalid_argument(
+            "line size must divide the cache size");
     const uint64_t lines = sizeBytes / lineBytes;
     if (lines == 0 || lines % assoc != 0)
         throw std::invalid_argument(

@@ -62,6 +62,9 @@ class StreamBuffer
 
     /**
      * Insert a prefetched line, evicting the oldest entry when full.
+     * Re-prefetching a resident line refreshes its arrival cycle in
+     * place — it must not consume a second capacity slot, or the
+     * duplicate would survive the remove() that follows first use.
      * Capacity 0 buffers ignore inserts.
      */
     void
@@ -69,6 +72,12 @@ class StreamBuffer
     {
         if (capacity_ == 0)
             return;
+        for (auto &e : entries_) {
+            if (e.lineAddr == line_addr) {
+                e.arrivalCycle = arrival_cycle;
+                return;
+            }
+        }
         if (entries_.size() >= capacity_)
             entries_.pop_front();
         entries_.push_back(StreamEntry{line_addr, arrival_cycle});

@@ -18,6 +18,10 @@ FetchConfig::validate() const
         l2.validate();
     if (l1Fill.bytesPerCycle == 0 || l2Fill.bytesPerCycle == 0)
         throw std::invalid_argument("bandwidth must be nonzero");
+    if (bypass && prefetchLines + 1ull > 64)
+        throw std::invalid_argument(
+            "bypass refill window (prefetchLines + 1) is limited to "
+            "64 lines");
     if (pipelined && prefetchLines > 0)
         throw std::invalid_argument(
             "pipelined mode uses the stream buffer, not "

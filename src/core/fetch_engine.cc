@@ -69,7 +69,7 @@ FetchEngine::fetch(uint64_t vaddr)
                     cycle_ = arrival;
                 }
                 ++stats_.bypassHits;
-                const uint32_t bit = 1u << idx;
+                const uint64_t bit = uint64_t{1} << idx;
                 if (!(insertedMask_ & bit)) {
                     // cachePrefetchOnlyIfUsed: first use caches it.
                     l1_.insert(config_.l1.lineAddr(vaddr));
@@ -145,7 +145,7 @@ FetchEngine::missBlocking(uint64_t vaddr)
     if (!config_.cachePrefetchOnlyIfUsed) {
         for (uint32_t k = 1; k <= n_prefetch; ++k) {
             l1_.insert(line + k * line_bytes);
-            insertedMask_ |= 1u << k;
+            insertedMask_ |= uint64_t{1} << k;
         }
     }
 

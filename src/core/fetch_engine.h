@@ -109,8 +109,10 @@ class FetchEngine
     uint32_t windowLines_ = 0; ///< Demand + prefetched lines.
     uint64_t windowStart_ = 0; ///< Cycle the fill was requested.
     uint64_t windowEnd_ = 0;   ///< Cycle the last byte arrives.
-    uint32_t insertedMask_ = 0;
-    uint32_t usedMask_ = 0;
+    // One bit per refilling line; windowLines_ <= 64 is enforced by
+    // FetchConfig::validate, so a 64-bit mask always suffices.
+    uint64_t insertedMask_ = 0;
+    uint64_t usedMask_ = 0;
 
     // Stream-buffer prefetcher state.
     uint64_t nextPrefetch_ = 0;

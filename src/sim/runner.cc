@@ -5,19 +5,41 @@
 
 #include "sim/runner.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ibs {
 
 uint64_t
+parseEnvCount(const char *name, uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || *env == '\0')
+        return fallback;
+    // strtoull silently accepts trailing garbage, wraps negative
+    // input, and saturates on overflow with no error by default —
+    // reject all three explicitly so a typo'd environment variable
+    // cannot silently run the wrong experiment.
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || env[0] == '-' ||
+        errno == ERANGE || v == 0) {
+        std::fprintf(stderr,
+                     "ibs: ignoring invalid %s=\"%s\" (want a "
+                     "positive integer); using %llu\n",
+                     name, env,
+                     static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+uint64_t
 benchInstructions(uint64_t fallback)
 {
-    if (const char *env = std::getenv("IBS_BENCH_INSTR")) {
-        const unsigned long long v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return fallback;
+    return parseEnvCount("IBS_BENCH_INSTR", fallback);
 }
 
 FetchStats

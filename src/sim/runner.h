@@ -23,6 +23,13 @@
 
 namespace ibs {
 
+/**
+ * Parse a positive integer from environment variable `name`.
+ * Malformed values (trailing garbage, sign, overflow, zero) are
+ * rejected with a warning on stderr and `fallback` is returned.
+ */
+uint64_t parseEnvCount(const char *name, uint64_t fallback);
+
 /** Instructions per workload used by benches unless overridden by
  *  the IBS_BENCH_INSTR environment variable. */
 uint64_t benchInstructions(uint64_t fallback = 1'500'000);
@@ -34,7 +41,16 @@ uint64_t benchInstructions(uint64_t fallback = 1'500'000);
 FetchStats runFetch(const WorkloadSpec &spec, const FetchConfig &config,
                     uint64_t instructions, uint64_t seed = 0);
 
-/** Pre-generated instruction traces for a suite of workloads. */
+/**
+ * Pre-generated instruction traces for a suite of workloads.
+ *
+ * Thread-safety: once constructed, a SuiteTraces is immutable; every
+ * const member (runOne, runSuite, addresses, ...) only reads the
+ * stored traces and builds simulation state on the caller's stack,
+ * so any number of threads may call them concurrently on one shared
+ * instance. sim/sweep.h relies on this to fan a config grid out
+ * across workers.
+ */
 class SuiteTraces
 {
   public:

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parallel parameter-sweep executor.
+ *
+ * Every table/figure bench replays the same immutable SuiteTraces
+ * through a grid of FetchConfigs. Each (config, workload) cell is an
+ * independent simulation — a FetchEngine built fresh from the config
+ * and driven by one pre-materialized trace — so the grid
+ * parallelizes perfectly. runSweep schedules cells onto a pool of
+ * std::thread workers and stores each cell's FetchStats into a
+ * pre-sized vector addressed by (config, workload) index; because no
+ * cell reads another cell's output and the merge in
+ * SweepResult::suite always folds workloads in index order, the
+ * result is bit-for-bit identical to the serial path regardless of
+ * how the scheduler interleaves the work.
+ *
+ * Worker count: the `threads` argument if nonzero, else the
+ * IBS_THREADS environment variable, else std::thread's hardware
+ * concurrency. One thread means the calling thread runs every cell
+ * itself (serial fallback, no pool).
+ */
+
+#ifndef IBS_SIM_SWEEP_H
+#define IBS_SIM_SWEEP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fetch_config.h"
+#include "core/fetch_stats.h"
+#include "sim/runner.h"
+
+namespace ibs {
+
+/**
+ * Worker count for parallel sweeps: IBS_THREADS if set and valid,
+ * else hardware concurrency, always at least 1.
+ */
+unsigned sweepThreads();
+
+/** Per-cell results of a (config × workload) sweep. */
+class SweepResult
+{
+  public:
+    SweepResult(size_t configs, size_t workloads)
+        : workloads_(workloads), cells_(configs * workloads)
+    {}
+
+    size_t configCount() const
+    {
+        return workloads_ ? cells_.size() / workloads_ : 0;
+    }
+    size_t workloadCount() const { return workloads_; }
+
+    /** Stats of one (config, workload) cell. */
+    const FetchStats &
+    cell(size_t config, size_t workload) const
+    {
+        return cells_[config * workloads_ + workload];
+    }
+
+    FetchStats &
+    cell(size_t config, size_t workload)
+    {
+        return cells_[config * workloads_ + workload];
+    }
+
+    /**
+     * Suite-level stats for one config: cells merged in workload
+     * index order, exactly matching SuiteTraces::runSuite.
+     * FetchStats::merge is pure counter addition, so the merge is
+     * order-independent; fixing the order anyway makes the
+     * determinism contract trivially auditable.
+     */
+    FetchStats
+    suite(size_t config) const
+    {
+        FetchStats total;
+        for (size_t w = 0; w < workloads_; ++w)
+            total.merge(cell(config, w));
+        return total;
+    }
+
+  private:
+    size_t workloads_;
+    std::vector<FetchStats> cells_; ///< Config-major.
+};
+
+/**
+ * Run every (config × workload) cell of the grid, in parallel when
+ * more than one worker is available.
+ *
+ * @param suite immutable traces, shared const across workers
+ * @param configs grid points (validated before any thread starts)
+ * @param threads worker count; 0 means sweepThreads()
+ * @return per-cell stats, identical to calling runOne serially
+ */
+SweepResult runSweep(const SuiteTraces &suite,
+                     const std::vector<FetchConfig> &configs,
+                     unsigned threads = 0);
+
+/**
+ * Convenience wrapper: suite-average stats per config, one merge per
+ * grid point (what most benches want).
+ */
+std::vector<FetchStats> sweepSuite(const SuiteTraces &suite,
+                                   const std::vector<FetchConfig> &configs,
+                                   unsigned threads = 0);
+
+} // namespace ibs
+
+#endif // IBS_SIM_SWEEP_H

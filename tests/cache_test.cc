@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <tuple>
 #include <vector>
 
@@ -119,6 +120,76 @@ TEST(Cache, RandomReplacementStaysInSet)
     for (uint64_t i = 0; i < 8; ++i)
         c.access(i * 1024 / 4 * 4); // 0, 0x400, 0x800, ... set 0.
     EXPECT_EQ(c.validLines(), 4u);
+}
+
+TEST(CacheConfig, NonPowerOfTwoAssocIsLegal)
+{
+    // Only the set count must be a power of two; a 3-way cache with
+    // a power-of-two set count is a legal geometry.
+    EXPECT_NO_THROW(cfg(96, 3, 32).validate());   // 1 set.
+    EXPECT_NO_THROW(cfg(384, 3, 32).validate());  // 4 sets.
+    EXPECT_EQ(cfg(384, 3, 32).numSets(), 4u);
+    // 8 KB has 256 lines: not divisible by 3, still rejected.
+    EXPECT_THROW(cfg(8 * 1024, 3, 32).validate(),
+                 std::invalid_argument);
+    // 6 sets of 2 ways: set count not a power of two.
+    EXPECT_THROW(cfg(384, 2, 32).validate(), std::invalid_argument);
+}
+
+TEST(Cache, RandomVictimMatchesUnbiasedReferenceDraw)
+{
+    // 3-way fully-associative cache: the victim draw cannot be a
+    // plain `lfsr % 3`, which biases toward low ways within any
+    // window of the LFSR sequence. The contract is a masked draw
+    // with rejection: step the 16-bit Galois LFSR (seed 0xace1),
+    // mask to the next power of two >= assoc, redraw until in range.
+    const CacheConfig config{96, 3, 32, Replacement::Random};
+    Cache c(config);
+
+    uint64_t lfsr = 0xace1;
+    auto draw = [&]() {
+        for (;;) {
+            const uint64_t bit = ((lfsr >> 0) ^ (lfsr >> 2) ^
+                                  (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+            lfsr = (lfsr >> 1) | (bit << 15);
+            const uint64_t v = lfsr & 3;
+            if (v < 3)
+                return static_cast<uint32_t>(v);
+        }
+    };
+
+    // The first three misses fill the invalid ways in order.
+    std::array<uint64_t, 3> slots = {0x0, 0x20, 0x40};
+    for (uint64_t addr : slots)
+        c.access(addr);
+
+    std::array<uint64_t, 3> hist{};
+    for (uint64_t i = 3; i < 3000; ++i) {
+        const uint64_t addr = i * 0x20;
+        const uint32_t way = draw();
+        ++hist[way];
+        slots[way] = addr;
+        ASSERT_FALSE(c.access(addr)) << i;
+        for (uint64_t resident : slots)
+            ASSERT_TRUE(c.contains(resident)) << i;
+    }
+    // The accepted draws are near-uniform over the three ways.
+    for (uint64_t count : hist) {
+        EXPECT_GT(count, 800u);
+        EXPECT_LT(count, 1200u);
+    }
+}
+
+TEST(Cache, RandomVictimIsDeterministic)
+{
+    const CacheConfig config{96, 3, 32, Replacement::Random};
+    Cache a(config);
+    Cache b(config);
+    for (uint64_t i = 0; i < 500; ++i) {
+        a.access(i * 0x20);
+        b.access(i * 0x20);
+    }
+    EXPECT_EQ(a.validLineAddrs(), b.validLineAddrs());
 }
 
 TEST(Cache, ContainsDoesNotMutate)

@@ -76,6 +76,21 @@ TEST(FetchConfig, ValidationRules)
     EXPECT_NO_THROW(c.validate());
 }
 
+TEST(FetchConfig, BypassWindowLimitedTo64Lines)
+{
+    // The bypass refill window tracks per-line state in 64-bit
+    // masks: demand + prefetched lines must fit in 64.
+    FetchConfig c = economyBaseline();
+    c.bypass = true;
+    c.prefetchLines = 63; // 64-line window: the maximum.
+    EXPECT_NO_THROW(c.validate());
+    c.prefetchLines = 64; // 65-line window: rejected.
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    // Without bypass buffers there is no window to bound.
+    c.bypass = false;
+    EXPECT_NO_THROW(c.validate());
+}
+
 TEST(FetchConfig, ToStringMentionsFeatures)
 {
     FetchConfig c = withOnChipL2(economyBaseline(), 64 * 1024, 64, 8);

@@ -182,6 +182,38 @@ TEST(FetchEngine, CachePrefetchOnlyIfUsedDropsUnused)
     }
 }
 
+TEST(FetchEngine, BypassWindowWiderThan32Lines)
+{
+    // 4-B L1 lines with a 40-line prefetch burst: the refill window
+    // spans 41 lines, so per-line window state needs more than 32
+    // mask bits. Before the masks were widened, `1u << 33` aliased
+    // line 33 onto line 1 and the pollution-control variant then
+    // never cached line 1.
+    FetchConfig c = l2Backed(4);
+    c.prefetchLines = 40;
+    c.bypass = true;
+    c.cachePrefetchOnlyIfUsed = true;
+    FetchEngine e(c);
+
+    // Miss at 0x0 (cycle 1): burst = 41 * 4 = 164 bytes at 16 B/cyc,
+    // window [1, 17); resume at cycle 7.
+    e.fetch(0x0);
+    // Line index 33 (0x84, cycle 8): word arrives at 1 + 6 + 8 = 15.
+    e.fetch(0x84);
+    // Line index 1 (0x4, cycle 16 < 17): already arrived, no stall.
+    e.fetch(0x4);
+    EXPECT_EQ(e.stats().bypassHits, 2u);
+    EXPECT_EQ(e.stats().prefetchesUsed, 2u);
+    EXPECT_EQ(e.stats().l1Misses, 1u);
+
+    // Run past the window, then revisit both lines: each was used
+    // during the refill, so each must have been cached.
+    e.fetch(0x2000);
+    e.fetch(0x84);
+    e.fetch(0x4);
+    EXPECT_EQ(e.stats().l1Misses, 2u); // Only 0x0 and 0x2000 missed.
+}
+
 TEST(FetchEngine, PipelinedDemandMissLatency)
 {
     // Pipelined, 16-B line at 16 B/cycle: demand miss costs exactly

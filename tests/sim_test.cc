@@ -63,6 +63,28 @@ TEST(Runner, BenchInstructionsEnvOverride)
     unsetenv("IBS_BENCH_INSTR");
 }
 
+TEST(Runner, ParseEnvCountRejectsMalformedValues)
+{
+    // strtoull alone would accept "45x" as 45 and saturate silently
+    // on overflow; the hardened parser must fall back instead.
+    setenv("IBS_BENCH_INSTR", "45x", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+    setenv("IBS_BENCH_INSTR", "99999999999999999999999", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+    setenv("IBS_BENCH_INSTR", "-5", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+    setenv("IBS_BENCH_INSTR", "0", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+    setenv("IBS_BENCH_INSTR", "", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+    setenv("IBS_BENCH_INSTR", "12 34", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+    setenv("IBS_BENCH_INSTR", "890", 1);
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 890u);
+    unsetenv("IBS_BENCH_INSTR");
+    EXPECT_EQ(parseEnvCount("IBS_BENCH_INSTR", 7), 7u);
+}
+
 TEST(Tapeworm, ProducesRequestedTrials)
 {
     TapewormConfig config;
