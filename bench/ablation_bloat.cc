@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "cache/cache.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -25,9 +26,13 @@ namespace {
 
 using namespace ibs;
 
+BenchReport g_report("ablation_bloat");
+
 double
-mpiOf(const WorkloadSpec &spec, uint64_t n)
+mpiOf(const WorkloadSpec &spec, uint64_t n,
+      const std::string &grid)
 {
+    WallTimer cell_timer;
     WorkloadModel model(spec);
     Cache cache(CacheConfig{8 * 1024, 1, 32, Replacement::LRU});
     TraceRecord rec;
@@ -39,8 +44,16 @@ mpiOf(const WorkloadSpec &spec, uint64_t n)
         if (!cache.access(rec.vaddr))
             ++misses;
     }
-    return 100.0 * static_cast<double>(misses) /
+    const double mpi = 100.0 * static_cast<double>(misses) /
         static_cast<double>(instrs);
+    const Json stats = Json::object()
+        .set("instructions", Json::number(instrs))
+        .set("l1_misses", Json::number(misses))
+        .set("mpi100", Json::number(mpi));
+    g_report.addCell(spec.name + " (" + osName(spec.os) + ")",
+                     Json::object(), stats, cell_timer.seconds(),
+                     instrs, grid);
+    return mpi;
 }
 
 WorkloadSpec
@@ -65,10 +78,10 @@ main()
     TextTable t1("Bloat source: object-oriented rewrite "
                  "(maintainability)");
     t1.setHeader({"workload", "MPI", "ratio"});
-    const double nroff =
-        mpiOf(makeIbs(IbsBenchmark::Nroff, OsType::Mach), n);
-    const double groff =
-        mpiOf(makeIbs(IbsBenchmark::Groff, OsType::Mach), n);
+    const double nroff = mpiOf(
+        makeIbs(IbsBenchmark::Nroff, OsType::Mach), n, "rewrite");
+    const double groff = mpiOf(
+        makeIbs(IbsBenchmark::Groff, OsType::Mach), n, "rewrite");
     t1.addRow({"nroff (C)", TextTable::num(nroff, 2), "1.00"});
     t1.addRow({"groff (C++)", TextTable::num(groff, 2),
                TextTable::num(groff / nroff, 2)});
@@ -77,10 +90,11 @@ main()
 
     TextTable t2("Bloat source: feature growth (functionality)");
     t2.setHeader({"workload", "MPI", "ratio"});
-    const double gcc_spec =
-        mpiOf(userOnly(makeSpec(SpecBenchmark::Gcc)), n);
+    const double gcc_spec = mpiOf(
+        userOnly(makeSpec(SpecBenchmark::Gcc)), n, "features");
     const double gcc_ibs = mpiOf(
-        userOnly(makeIbs(IbsBenchmark::Gcc, OsType::Ultrix)), n);
+        userOnly(makeIbs(IbsBenchmark::Gcc, OsType::Ultrix)), n,
+        "features");
     t2.addRow({"gcc 1.35 (SPEC)", TextTable::num(gcc_spec, 2),
                "1.00"});
     t2.addRow({"gcc 2.6 (IBS)", TextTable::num(gcc_ibs, 2),
@@ -93,8 +107,10 @@ main()
     t3.setHeader({"workload", "Ultrix MPI", "Mach MPI", "ratio"});
     double mach_sum = 0, ultrix_sum = 0;
     for (IbsBenchmark b : allIbsBenchmarks()) {
-        const double u = mpiOf(makeIbs(b, OsType::Ultrix), n);
-        const double m = mpiOf(makeIbs(b, OsType::Mach), n);
+        const double u =
+            mpiOf(makeIbs(b, OsType::Ultrix), n, "os_structure");
+        const double m =
+            mpiOf(makeIbs(b, OsType::Mach), n, "os_structure");
         mach_sum += m;
         ultrix_sum += u;
         t3.addRow({benchmarkName(b), TextTable::num(u, 2),
@@ -114,14 +130,19 @@ main()
                   "lib)", "ratio"});
     for (IbsBenchmark b : {IbsBenchmark::Gcc, IbsBenchmark::Gs,
                            IbsBenchmark::Verilog}) {
-        const double u =
-            mpiOf(userOnly(makeIbs(b, OsType::Ultrix)), n);
-        const double m = mpiOf(userOnly(makeIbs(b, OsType::Mach)), n);
+        const double u = mpiOf(
+            userOnly(makeIbs(b, OsType::Ultrix)), n, "api_emulation");
+        const double m = mpiOf(
+            userOnly(makeIbs(b, OsType::Mach)), n, "api_emulation");
         t4.addRow({benchmarkName(b), TextTable::num(u, 2),
                    TextTable::num(m, 2), TextTable::num(m / u, 2)});
     }
     std::cout << t4.render()
               << "paper: part of the Mach/Ultrix gap is the "
                  "emulation library linked into each task.\n";
+
+    g_report.meta().set("instructions_per_workload",
+                        Json::number(n));
+    g_report.write();
     return 0;
 }

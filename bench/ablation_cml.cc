@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "cache/cache.h"
+#include "sim/bench_report.h"
 #include "sim/cml_sim.h"
 #include "sim/runner.h"
 #include "sim/tapeworm.h"
@@ -27,6 +28,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("ablation_cml");
     const uint64_t n = benchInstructions(600000);
     TextTable table("Ablation: CML buffer vs associativity "
                     "(physically-indexed, random placement)");
@@ -42,6 +44,7 @@ main()
             experiment.cache =
                 CacheConfig{kb * 1024, 1, 32, Replacement::LRU};
             experiment.instructions = n;
+            WallTimer cell_timer;
             const CmlResult r = runCml(spec, experiment);
 
             // The 2-way reference point via a one-trial Tapeworm run
@@ -52,6 +55,22 @@ main()
             tw.trials = 1;
             tw.instructions = n;
             const TapewormResult assoc = runTapeworm(spec, tw);
+
+            const Json config_json = Json::object()
+                .set("cache", toJson(experiment.cache))
+                .set("assoc_reference", toJson(tw.cache));
+            const Json stats = Json::object()
+                .set("cpi_baseline_dm",
+                     Json::number(r.cpiBaseline))
+                .set("cpi_with_cml", Json::number(r.cpiWithCml))
+                .set("cpi_recolor_overhead",
+                     Json::number(r.cpiRecolorOverhead))
+                .set("recolors", Json::number(r.recolors))
+                .set("cpi_2way",
+                     Json::number(assoc.cpiInstr.mean()));
+            report.addCell(spec.name, config_json, stats,
+                           cell_timer.seconds(), 2 * n, "cml",
+                           std::to_string(kb) + "KB");
 
             table.addRow({
                 spec.name, std::to_string(kb) + "KB",
@@ -72,5 +91,8 @@ main()
                  "conflicts outright with no overhead — the paper's "
                  "§5.1 argument for\nassociative on-chip L2s over "
                  "CML buffers.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "cache/hierarchy.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -21,6 +22,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("ablation_inclusion");
     const uint64_t n = benchInstructions(800000);
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
@@ -34,6 +36,7 @@ main()
         uint64_t n_total = 0;
         uint64_t l1_ni = 0, l1_in = 0, backs = 0, l2m = 0;
         for (size_t i = 0; i < suite.count(); ++i) {
+            WallTimer cell_timer;
             CacheHierarchy ni(
                 CacheConfig{8 * 1024, 1, 32, Replacement::LRU},
                 CacheConfig{64 * 1024, assoc, 64, Replacement::LRU},
@@ -46,7 +49,27 @@ main()
                 ni.access(a);
                 incl.access(a);
             }
-            n_total += suite.addresses(i).size();
+            const uint64_t instrs = suite.addresses(i).size();
+            const Json config = Json::object()
+                .set("l1", toJson(CacheConfig{8 * 1024, 1, 32,
+                                              Replacement::LRU}))
+                .set("l2", toJson(CacheConfig{64 * 1024, assoc, 64,
+                                              Replacement::LRU}));
+            const Json stats = Json::object()
+                .set("instructions", Json::number(instrs))
+                .set("l1_misses_noninclusive",
+                     Json::number(ni.l1Misses()))
+                .set("l1_misses_inclusive",
+                     Json::number(incl.l1Misses()))
+                .set("back_invalidations",
+                     Json::number(incl.backInvalidations()))
+                .set("l2_misses_inclusive",
+                     Json::number(incl.l2Misses()));
+            report.addCell(suite.name(i), config, stats,
+                           cell_timer.seconds(), instrs,
+                           "inclusion",
+                           std::to_string(assoc) + "way");
+            n_total += instrs;
             l1_ni += ni.l1Misses();
             l1_in += incl.l1Misses();
             backs += incl.backInvalidations();
@@ -66,5 +89,8 @@ main()
                  "back-invalidation, most under a\ndirect-mapped L2; "
                  "associativity shrinks the tax — one more reason "
                  "for the\npaper's associative-L2 recommendation.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -15,7 +15,9 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -24,6 +26,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("ablation_multiissue");
     const uint64_t n = benchInstructions();
     SuiteTraces ibs_suite(ibsSuite(OsType::Mach), n);
     SuiteTraces spec_suite(specSuite(), n);
@@ -35,8 +38,15 @@ main()
     opt.pipelined = true;
     opt.streamBufferLines = 6;
 
-    const double ibs_cpi = ibs_suite.runSuite(opt).cpiInstr();
-    const double spec_cpi = spec_suite.runSuite(opt).cpiInstr();
+    const std::vector<FetchConfig> grid = {opt};
+    const std::vector<std::string> labels = {"optimized"};
+    const SweepResult ibs_result = runSweep(ibs_suite, grid);
+    report.addSweep("ibs_mach", ibs_suite, grid, ibs_result, labels);
+    const SweepResult spec_result = runSweep(spec_suite, grid);
+    report.addSweep("spec92", spec_suite, grid, spec_result, labels);
+
+    const double ibs_cpi = ibs_result.suite(0).cpiInstr();
+    const double spec_cpi = spec_result.suite(0).cpiInstr();
 
     TextTable table("Ablation: fetch stalls on multi-issue machines "
                     "(optimized fetch path)");
@@ -65,5 +75,8 @@ main()
                  "bloated workload spends a large\nfraction of its "
                  "time waiting on instruction fetch — the paper's "
                  "closing warning.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "cache/cache.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/tapeworm.h"
 #include "stats/table.h"
@@ -29,6 +30,8 @@
 namespace {
 
 using namespace ibs;
+
+BenchReport g_report("ablation_placement");
 
 WorkloadSpec
 profilePlaced(WorkloadSpec spec)
@@ -44,6 +47,7 @@ profilePlaced(WorkloadSpec spec)
 double
 mpiOf(const WorkloadSpec &spec, uint64_t n)
 {
+    WallTimer cell_timer;
     WorkloadModel model(spec);
     Cache cache(CacheConfig{8 * 1024, 1, 32, Replacement::LRU});
     TraceRecord rec;
@@ -55,8 +59,16 @@ mpiOf(const WorkloadSpec &spec, uint64_t n)
         if (!cache.access(rec.vaddr))
             ++misses;
     }
-    return 100.0 * static_cast<double>(misses) /
+    const double mpi = 100.0 * static_cast<double>(misses) /
         static_cast<double>(instrs);
+    const Json stats = Json::object()
+        .set("instructions", Json::number(instrs))
+        .set("l1_misses", Json::number(misses))
+        .set("mpi100", Json::number(mpi));
+    g_report.addCell(spec.name, Json::object(), stats,
+                     cell_timer.seconds(), instrs,
+                     "procedure_placement");
+    return mpi;
 }
 
 } // namespace
@@ -107,9 +119,29 @@ main()
             config.policy = policy;
             config.trials = 3;
             config.instructions = n / 2;
+            WallTimer cell_timer;
             const TapewormResult r =
                 runTapeworm(makeIbs(b, OsType::Mach), config);
             row.push_back(TextTable::num(r.cpiInstr.mean()));
+
+            const char *policy_name =
+                policy == PagePolicy::Random ? "random"
+                : policy == PagePolicy::BinHopping ? "bin_hopping"
+                                                   : "page_coloring";
+            const Json config_json = Json::object()
+                .set("cache", toJson(config.cache))
+                .set("policy", Json::string(policy_name))
+                .set("trials",
+                     Json::number(uint64_t{config.trials}));
+            const Json stats = Json::object()
+                .set("cpi_instr_mean",
+                     Json::number(r.cpiInstr.mean()))
+                .set("cpi_instr_stddev",
+                     Json::number(r.cpiInstr.stddev()));
+            g_report.addCell(benchmarkName(b), config_json, stats,
+                             cell_timer.seconds(),
+                             config.instructions * config.trials,
+                             "page_placement", policy_name);
         }
         os_table.addRow(row);
     }
@@ -119,5 +151,9 @@ main()
                  "fight bloat too — §2), and careful page placement\n"
                  "beats random mapping in physically-indexed "
                  "caches.\n";
+
+    g_report.meta().set("instructions_per_workload",
+                        Json::number(n));
+    g_report.write();
     return 0;
 }

@@ -18,7 +18,9 @@
 
 #include "cache/subblock.h"
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -50,12 +52,9 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("ablation_subblock");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
-
-    auto cpiOf = [&](FetchConfig c) {
-        return suite.runSuite(c).cpiInstr();
-    };
 
     FetchConfig plain16;
     plain16.l1 = CacheConfig{8 * 1024, 1, 16, Replacement::LRU};
@@ -73,29 +72,56 @@ main()
     FetchConfig pf3_pollution = pf3_bypass;
     pf3_pollution.cachePrefetchOnlyIfUsed = true;
 
+    const std::vector<FetchConfig> grid = {
+        plain16, plain64, pf3, pf3_bypass, pf3_pollution};
+    const std::vector<std::string> labels = {
+        "plain16", "plain64", "pf3", "pf3_bypass", "pf3_pollution"};
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep("fetch_configs", suite, grid, result, labels);
+    auto cpiAt = [&](size_t c) {
+        return result.suite(c).cpiInstr();
+    };
+
     double sub = 0;
-    for (size_t i = 0; i < suite.count(); ++i)
-        sub += subBlockCpi(suite.addresses(i));
+    for (size_t i = 0; i < suite.count(); ++i) {
+        WallTimer cell_timer;
+        const double cpi = subBlockCpi(suite.addresses(i));
+        const uint64_t instrs = suite.addresses(i).size();
+        const Json config = Json::object()
+            .set("l1", toJson(CacheConfig{8 * 1024, 1, 64,
+                                          Replacement::LRU}))
+            .set("sub_block_bytes", Json::number(uint64_t{16}));
+        const Json stats = Json::object()
+            .set("instructions", Json::number(instrs))
+            .set("cpi_instr", Json::number(cpi));
+        report.addCell(suite.name(i), config, stats,
+                       cell_timer.seconds(), instrs, "sub_block",
+                       "subblock64_16");
+        sub += cpi;
+    }
     sub /= static_cast<double>(suite.count());
 
     TextTable table("Ablation: sub-block fill vs prefetch "
                     "(L1 CPIinstr, IBS avg, 8KB DM)");
     table.setHeader({"configuration", "CPIinstr"});
     table.addRow({"16B line, no prefetch",
-                  TextTable::num(cpiOf(plain16))});
+                  TextTable::num(cpiAt(0))});
     table.addRow({"64B line, no prefetch",
-                  TextTable::num(cpiOf(plain64))});
+                  TextTable::num(cpiAt(1))});
     table.addRow({"16B line + 3-line prefetch",
-                  TextTable::num(cpiOf(pf3))});
+                  TextTable::num(cpiAt(2))});
     table.addRow({"64B line, 16B sub-blocks", TextTable::num(sub)});
     table.addRule();
     table.addRow({"16B + 3-pf + bypass",
-                  TextTable::num(cpiOf(pf3_bypass))});
+                  TextTable::num(cpiAt(3))});
     table.addRow({"16B + 3-pf + bypass, cache-only-if-used",
-                  TextTable::num(cpiOf(pf3_pollution))});
+                  TextTable::num(cpiAt(4))});
     std::cout << table.render();
     std::cout << "\npaper shape: sub-block ~ 16B+3pf (both beat "
                  "plain 64B); the cache-only-if-used\npollution "
                  "control *hurts* at this configuration.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "tlb/tlb.h"
@@ -25,23 +26,47 @@ namespace {
 
 using namespace ibs;
 
+BenchReport g_report("ablation_tlb");
+
+Json
+tlbConfigJson(const TlbConfig &config)
+{
+    return Json::object()
+        .set("entries", Json::number(uint64_t{config.entries}))
+        .set("assoc", Json::number(uint64_t{config.assoc}));
+}
+
 double
 tlbMpi(std::vector<WorkloadSpec> suite, const TlbConfig &config,
-       uint64_t n)
+       uint64_t n, const std::string &grid)
 {
     uint64_t misses = 0, instrs = 0;
     for (WorkloadSpec &spec : suite) {
         spec.data.enabled = true;
+        WallTimer cell_timer;
         WorkloadModel model(spec);
         Tlb tlb(config);
         TraceRecord rec;
         uint64_t done = 0;
+        uint64_t workload_misses = 0;
         while (done < n && model.next(rec)) {
             if (rec.isInstr())
                 ++done;
             if (!tlb.access(rec.asid, rec.vaddr))
-                ++misses;
+                ++workload_misses;
         }
+        const Json stats = Json::object()
+            .set("instructions", Json::number(done))
+            .set("tlb_misses", Json::number(workload_misses))
+            .set("mpi100",
+                 Json::number(done ? 100.0 *
+                                  static_cast<double>(
+                                      workload_misses) /
+                                  static_cast<double>(done)
+                                   : 0.0));
+        g_report.addCell(spec.name, tlbConfigJson(config), stats,
+                         cell_timer.seconds(), done, grid);
+        misses += workload_misses;
         instrs += done;
     }
     return 100.0 * static_cast<double>(misses) /
@@ -72,8 +97,10 @@ main()
                     (assoc == entries ? "full"
                                       : std::to_string(assoc) +
                                             "-way"),
-                TextTable::num(tlbMpi(spec_suite, config, n), 3),
-                TextTable::num(tlbMpi(ibs_suite, config, n), 3),
+                TextTable::num(tlbMpi(spec_suite, config, n,
+                                      "spec92"), 3),
+                TextTable::num(tlbMpi(ibs_suite, config, n,
+                                      "ibs_mach"), 3),
             });
         }
     }
@@ -82,5 +109,9 @@ main()
                  "TLB than SPEC for equal miss\nrates; the R2000's "
                  "64-entry fully-associative design sits at the "
                  "knee for SPEC\nbut not for IBS.\n";
+
+    g_report.meta().set("instructions_per_workload",
+                        Json::number(n));
+    g_report.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "core/fetch_config.h"
 #include "core/fetch_engine.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -23,13 +24,17 @@ using namespace ibs;
 
 FetchStats
 runWithData(const WorkloadSpec &base_spec, const FetchConfig &config,
-            uint64_t n)
+            uint64_t n, BenchReport &report, const std::string &grid)
 {
     WorkloadSpec spec = base_spec;
     spec.data.enabled = true;
+    WallTimer cell_timer;
     WorkloadModel model(spec);
     FetchEngine engine(config);
-    return engine.run(model, n);
+    const FetchStats stats = engine.run(model, n);
+    report.addCell(base_spec.name, toJson(config), toJson(stats),
+                   cell_timer.seconds(), stats.instructions, grid);
+    return stats;
 }
 
 } // namespace
@@ -39,6 +44,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("ablation_unified_l2");
     const uint64_t n = benchInstructions(800000);
 
     TextTable table("Ablation: instruction-only vs unified on-chip "
@@ -55,8 +61,10 @@ main()
     double i_sum = 0, u_sum = 0;
     for (IbsBenchmark b : allIbsBenchmarks()) {
         const WorkloadSpec spec = makeIbs(b, OsType::Mach);
-        const FetchStats si = runWithData(spec, ionly, n);
-        const FetchStats su = runWithData(spec, unified, n);
+        const FetchStats si =
+            runWithData(spec, ionly, n, report, "instruction_only");
+        const FetchStats su =
+            runWithData(spec, unified, n, report, "unified");
         i_sum += si.cpiInstr();
         u_sum += su.cpiInstr();
         table.addRow({
@@ -75,5 +83,8 @@ main()
                  "the instruction-side L2 miss\nratio and CPIinstr — "
                  "the paper's I-only numbers are indeed a lower "
                  "bound.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

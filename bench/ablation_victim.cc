@@ -19,6 +19,7 @@
 
 #include "cache/cache.h"
 #include "cache/victim.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -28,6 +29,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("ablation_victim");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
@@ -37,14 +39,30 @@ main()
 
     auto plain = [&](uint32_t assoc) {
         uint64_t misses = 0, instrs = 0;
+        const CacheConfig cfg{8 * 1024, assoc, 32, Replacement::LRU};
+        const std::string label =
+            std::to_string(assoc) + "way";
         for (size_t i = 0; i < suite.count(); ++i) {
-            Cache cache(CacheConfig{8 * 1024, assoc, 32,
-                                    Replacement::LRU});
+            WallTimer cell_timer;
+            Cache cache(cfg);
+            uint64_t w_misses = 0;
+            const uint64_t w_instrs = suite.addresses(i).size();
             for (uint64_t a : suite.addresses(i)) {
-                ++instrs;
                 if (!cache.access(a))
-                    ++misses;
+                    ++w_misses;
             }
+            const Json stats = Json::object()
+                .set("instructions", Json::number(w_instrs))
+                .set("l1_misses", Json::number(w_misses))
+                .set("mpi100",
+                     Json::number(100.0 *
+                                  static_cast<double>(w_misses) /
+                                  static_cast<double>(w_instrs)));
+            report.addCell(suite.name(i), toJson(cfg), stats,
+                           cell_timer.seconds(), w_instrs, "plain",
+                           label);
+            misses += w_misses;
+            instrs += w_instrs;
         }
         return 100.0 * static_cast<double>(misses) /
             static_cast<double>(instrs);
@@ -53,17 +71,36 @@ main()
     table.addRow({"direct-mapped", TextTable::num(plain(1), 2), "-"});
     for (uint32_t v : {1u, 2u, 4u, 8u}) {
         uint64_t misses = 0, swaps = 0, instrs = 0;
+        const CacheConfig cfg{8 * 1024, 1, 32, Replacement::LRU};
         for (size_t i = 0; i < suite.count(); ++i) {
-            VictimCache cache(CacheConfig{8 * 1024, 1, 32,
-                                          Replacement::LRU}, v);
+            WallTimer cell_timer;
+            VictimCache cache(cfg, v);
+            uint64_t w_misses = 0, w_swaps = 0;
+            const uint64_t w_instrs = suite.addresses(i).size();
             for (uint64_t a : suite.addresses(i)) {
-                ++instrs;
                 const int r = cache.access(a);
                 if (r == 2)
-                    ++misses;
+                    ++w_misses;
                 else if (r == 1)
-                    ++swaps;
+                    ++w_swaps;
             }
+            const Json config = Json::object()
+                .set("l1", toJson(cfg))
+                .set("victim_lines", Json::number(uint64_t{v}));
+            const Json stats = Json::object()
+                .set("instructions", Json::number(w_instrs))
+                .set("l1_misses", Json::number(w_misses))
+                .set("victim_swaps", Json::number(w_swaps))
+                .set("mpi100",
+                     Json::number(100.0 *
+                                  static_cast<double>(w_misses) /
+                                  static_cast<double>(w_instrs)));
+            report.addCell(suite.name(i), config, stats,
+                           cell_timer.seconds(), w_instrs, "victim",
+                           "victim" + std::to_string(v));
+            misses += w_misses;
+            swaps += w_swaps;
+            instrs += w_instrs;
         }
         table.addRow({
             "DM + " + std::to_string(v) + "-line victim buffer",
@@ -82,5 +119,8 @@ main()
                  "removes it all — consistent with the paper's "
                  "preference for\nassociative L2s over "
                  "conflict-patching structures.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

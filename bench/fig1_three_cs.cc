@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/three_c.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -25,7 +26,8 @@ namespace {
 using namespace ibs;
 
 void
-emitSuite(const std::string &title, const SuiteTraces &traces)
+emitSuite(const std::string &title, const SuiteTraces &traces,
+          BenchReport &report, const std::string &grid)
 {
     TextTable table(title);
     table.setHeader({"I-cache size", "capacity MPI*100",
@@ -34,10 +36,31 @@ emitSuite(const std::string &title, const SuiteTraces &traces)
     for (uint64_t kb : {8u, 16u, 32u, 64u, 128u, 256u}) {
         double cap = 0, conf = 0, comp = 0;
         for (size_t i = 0; i < traces.count(); ++i) {
+            WallTimer cell_timer;
             ThreeCClassifier classifier(kb * 1024, 32, 1, 8);
             for (uint64_t addr : traces.addresses(i))
                 classifier.access(addr);
             const ThreeCBreakdown b = classifier.breakdown();
+            const Json config = Json::object()
+                .set("size_bytes", Json::number(kb * 1024))
+                .set("line_bytes", Json::number(uint64_t{32}))
+                .set("measured_assoc", Json::number(uint64_t{1}))
+                .set("proxy_assoc", Json::number(uint64_t{8}));
+            const Json stats = Json::object()
+                .set("accesses", Json::number(b.accesses))
+                .set("compulsory", Json::number(b.compulsory))
+                .set("capacity", Json::number(b.capacity))
+                .set("conflict", Json::number(b.conflict))
+                .set("compulsory_mpi100",
+                     Json::number(b.compulsoryMpi100()))
+                .set("capacity_mpi100",
+                     Json::number(b.capacityMpi100()))
+                .set("conflict_mpi100",
+                     Json::number(b.conflictMpi100()))
+                .set("total_mpi100", Json::number(b.totalMpi100()));
+            report.addCell(traces.name(i), config, stats,
+                           cell_timer.seconds(), b.accesses, grid,
+                           std::to_string(kb) + "KB");
             cap += b.capacityMpi100();
             conf += b.conflictMpi100();
             comp += b.compulsoryMpi100();
@@ -59,15 +82,20 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("fig1_three_cs");
     const uint64_t n = benchInstructions();
     emitSuite("Figure 1a: SPEC92 capacity+conflict vs I-cache size",
-              SuiteTraces(specSuite(), n));
+              SuiteTraces(specSuite(), n), report, "spec92");
     emitSuite("Figure 1b: IBS (Mach 3.0) capacity+conflict vs "
               "I-cache size",
-              SuiteTraces(ibsSuite(OsType::Mach), n));
+              SuiteTraces(ibsSuite(OsType::Mach), n), report,
+              "ibs_mach");
     std::cout << "paper shape: IBS(8KB) ~4.8 with visible conflict "
                  "share, still >0 at 256KB;\n"
                  "SPEC(8KB) ~1.1, negligible by 64KB; IBS(64KB DM) "
                  "~= SPEC(8KB DM).\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

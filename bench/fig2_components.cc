@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "sim/bench_report.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
@@ -19,12 +20,14 @@ namespace {
 using namespace ibs;
 
 void
-emit(const WorkloadSpec &spec)
+emit(const WorkloadSpec &spec, BenchReport &report)
 {
+    WallTimer cell_timer;
     WorkloadModel model(spec);
     TraceRecord rec;
     for (int i = 0; i < 300000; ++i)
         model.next(rec);
+    const double wall = cell_timer.seconds();
 
     TextTable table("Workload components: " + spec.name + " (" +
                     osName(spec.os) + ")");
@@ -49,6 +52,24 @@ emit(const WorkloadSpec &spec)
               << TextTable::num(1000.0 * model.contextSwitches() /
                                     model.instructions(), 2)
               << "\n\n";
+
+    uint64_t code_bytes = 0;
+    for (size_t i = 0; i < spec.components.size(); ++i)
+        code_bytes += model.layout(i).codeBytes();
+    const Json config = Json::object()
+        .set("os", Json::string(osName(spec.os)))
+        .set("components",
+             Json::number(uint64_t{spec.components.size()}));
+    const Json stats = Json::object()
+        .set("instructions", Json::number(model.instructions()))
+        .set("context_switches",
+             Json::number(model.contextSwitches()))
+        .set("switches_per_1k_instr",
+             Json::number(1000.0 * model.contextSwitches() /
+                          model.instructions()))
+        .set("static_code_bytes", Json::number(code_bytes));
+    report.addCell(spec.name, config, stats, wall,
+                   model.instructions(), "components");
 }
 
 } // namespace
@@ -57,15 +78,18 @@ int
 main()
 {
     using namespace ibs;
+    BenchReport report("fig2_components");
     std::cout << "Figure 2: The Components of the SPEC92 and IBS "
                  "Workloads\n\n";
-    emit(makeSpec(SpecBenchmark::Eqntott));
-    emit(makeIbs(IbsBenchmark::MpegPlay, OsType::Ultrix));
-    emit(makeIbs(IbsBenchmark::MpegPlay, OsType::Mach));
+    emit(makeSpec(SpecBenchmark::Eqntott), report);
+    emit(makeIbs(IbsBenchmark::MpegPlay, OsType::Ultrix), report);
+    emit(makeIbs(IbsBenchmark::MpegPlay, OsType::Mach), report);
     std::cout << "paper shape: a SPEC benchmark is one task plus "
                  "minimal kernel service;\nan IBS workload spans "
                  "user task + kernel + (under Mach) BSD and X "
                  "servers,\nwith far more address-space "
                  "switching.\n";
+
+    report.write();
     return 0;
 }

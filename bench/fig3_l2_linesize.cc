@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -28,16 +29,27 @@ using namespace ibs;
 
 void
 sweep(const std::string &title, const FetchConfig &base,
-      const SuiteTraces &suite, double baseline_cpi)
+      const SuiteTraces &suite, double baseline_cpi,
+      BenchReport &report, const std::string &grid_name)
 {
     const std::vector<uint32_t> lines = {8, 16, 32, 64, 128, 256};
     const std::vector<uint64_t> sizes_kb = {16, 32, 64, 128, 256};
     std::vector<FetchConfig> grid;
+    std::vector<std::string> labels;
     grid.reserve(lines.size() * sizes_kb.size());
-    for (uint32_t line : lines)
-        for (uint64_t kb : sizes_kb)
+    for (uint32_t line : lines) {
+        for (uint64_t kb : sizes_kb) {
             grid.push_back(withOnChipL2(base, kb * 1024, line, 1));
-    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+            labels.push_back("l2_" + std::to_string(kb) + "KB_line" +
+                             std::to_string(line) + "B");
+        }
+    }
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep(grid_name, suite, grid, result, labels);
+    std::vector<FetchStats> stats;
+    stats.reserve(grid.size());
+    for (size_t c = 0; c < grid.size(); ++c)
+        stats.push_back(result.suite(c));
 
     TextTable table(title);
     table.setHeader({"L2 line", "16KB", "32KB", "64KB", "128KB",
@@ -61,24 +73,32 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("fig3_l2_linesize");
     const uint64_t n = benchInstructions(1000000);
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
-    const std::vector<FetchStats> base_stats =
-        sweepSuite(suite, {economyBaseline(), highPerfBaseline()});
-    const double econ_base = base_stats[0].cpiInstr();
-    const double perf_base = base_stats[1].cpiInstr();
+    const std::vector<FetchConfig> base_grid = {economyBaseline(),
+                                                highPerfBaseline()};
+    const SweepResult base_result = runSweep(suite, base_grid);
+    report.addSweep("baselines", suite, base_grid, base_result,
+                    {"economy", "high_performance"});
+    const double econ_base = base_result.suite(0).cpiInstr();
+    const double perf_base = base_result.suite(1).cpiInstr();
 
     sweep("Figure 3a: Total CPIinstr vs L2 line size — Economy "
           "(IBS avg, DM L2)",
-          economyBaseline(), suite, econ_base);
+          economyBaseline(), suite, econ_base, report, "economy");
     sweep("Figure 3b: Total CPIinstr vs L2 line size — "
           "High-Performance (IBS avg, DM L2)",
-          highPerfBaseline(), suite, perf_base);
+          highPerfBaseline(), suite, perf_base, report,
+          "high_performance");
 
     std::cout << "paper shape: economy improves with any tuned L2; "
                  "high-perf needs >=32-64KB;\n64KB economy ~= "
                  "high-perf baseline (0.72); optimal IBS line "
                  "~64B.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

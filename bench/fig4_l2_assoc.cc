@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -23,6 +24,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("fig4_l2_assoc");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
@@ -35,14 +37,24 @@ main()
 
     const std::vector<uint32_t> assocs = {1, 2, 4, 8};
     std::vector<FetchConfig> grid;
+    std::vector<std::string> labels;
     for (uint32_t assoc : assocs) {
         grid.push_back(
             withOnChipL2(economyBaseline(), 64 * 1024, 64, assoc));
+        labels.push_back("economy_" + std::to_string(assoc) + "way");
         grid.push_back(
             withOnChipL2(highPerfBaseline(), 64 * 1024, 64, assoc));
+        labels.push_back("high_perf_" + std::to_string(assoc) +
+                         "way");
     }
     grid.push_back(slower);
-    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+    labels.push_back("economy_8way_7cyc_l2");
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep("l2_assoc", suite, grid, result, labels);
+    std::vector<FetchStats> stats;
+    stats.reserve(grid.size());
+    for (size_t c = 0; c < grid.size(); ++c)
+        stats.push_back(result.suite(c));
 
     TextTable table("Figure 4: Total CPIinstr vs 64KB-L2 "
                     "associativity (IBS avg, 64B L2 lines)");
@@ -70,5 +82,8 @@ main()
     std::cout << "\npaper shape: biggest step DM->2-way (~25%), "
                  "8-way economy ~= DM high-perf;\nthe L1 "
                  "contribution (~0.34) is the floor.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -16,6 +16,7 @@
 
 #include <iostream>
 
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/tapeworm.h"
 #include "stats/table.h"
@@ -26,7 +27,8 @@ namespace {
 using namespace ibs;
 
 void
-sweep(const std::string &name, const WorkloadSpec &spec, uint64_t n)
+sweep(const std::string &name, const WorkloadSpec &spec, uint64_t n,
+      BenchReport &report)
 {
     TextTable table("Figure 5: std dev of CPIinstr — " + name);
     table.setHeader({"I-cache size", "1-way", "2-way", "4-way"});
@@ -41,8 +43,29 @@ sweep(const std::string &name, const WorkloadSpec &spec, uint64_t n)
             config.trials = 5;
             config.instructions = n;
             config.policy = PagePolicy::Random;
+            WallTimer cell_timer;
             const TapewormResult r = runTapeworm(spec, config);
             row.push_back(TextTable::num(r.cpiInstr.stddev(), 4));
+
+            const Json config_json = Json::object()
+                .set("cache", toJson(config.cache))
+                .set("miss_penalty",
+                     Json::number(uint64_t{config.missPenalty}))
+                .set("trials",
+                     Json::number(uint64_t{config.trials}));
+            const Json stats = Json::object()
+                .set("cpi_instr_mean",
+                     Json::number(r.cpiInstr.mean()))
+                .set("cpi_instr_stddev",
+                     Json::number(r.cpiInstr.stddev()))
+                .set("mpi100_mean", Json::number(r.mpi100.mean()))
+                .set("mpi100_stddev",
+                     Json::number(r.mpi100.stddev()));
+            report.addCell(spec.name, config_json, stats,
+                           cell_timer.seconds(),
+                           n * config.trials, "tapeworm",
+                           std::to_string(kb) + "KB_" +
+                               std::to_string(assoc) + "way");
         }
         table.addRow(row);
     }
@@ -55,15 +78,21 @@ int
 main()
 {
     using namespace ibs;
+    BenchReport report("fig5_variability");
     const uint64_t n = benchInstructions(600000);
     sweep("verilog (IBS, Mach 3.0)",
-          makeIbs(IbsBenchmark::Verilog, OsType::Mach), n);
-    sweep("gs (IBS, Mach 3.0)", makeIbs(IbsBenchmark::Gs,
-                                        OsType::Mach), n);
-    sweep("eqntott (SPEC)", makeSpec(SpecBenchmark::Eqntott), n);
-    sweep("espresso (SPEC)", makeSpec(SpecBenchmark::Espresso), n);
+          makeIbs(IbsBenchmark::Verilog, OsType::Mach), n, report);
+    sweep("gs (IBS, Mach 3.0)",
+          makeIbs(IbsBenchmark::Gs, OsType::Mach), n, report);
+    sweep("eqntott (SPEC)", makeSpec(SpecBenchmark::Eqntott), n,
+          report);
+    sweep("espresso (SPEC)", makeSpec(SpecBenchmark::Espresso), n,
+          report);
     std::cout << "paper shape: IBS workloads vary strongly at some "
                  "sizes (up to ~0.05);\nSPEC's eqntott/espresso "
                  "barely vary; 2-way/4-way damp the variability.\n";
+
+    report.meta().set("instructions_per_trial", Json::number(n));
+    report.write();
     return 0;
 }

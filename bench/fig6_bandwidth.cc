@@ -13,6 +13,7 @@
 #include <limits>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -23,6 +24,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("fig6_bandwidth");
     const uint64_t n = benchInstructions(1000000);
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
@@ -37,6 +39,7 @@ main()
     table.setHeader(header);
 
     std::vector<FetchConfig> configs;
+    std::vector<std::string> labels;
     configs.reserve(lines.size() * bandwidths.size());
     for (uint32_t line : lines) {
         for (uint32_t bw : bandwidths) {
@@ -44,9 +47,17 @@ main()
             c.l1 = CacheConfig{8 * 1024, 1, line, Replacement::LRU};
             c.l1Fill = MemoryTiming{6, bw};
             configs.push_back(c);
+            labels.push_back("line" + std::to_string(line) + "B_bw" +
+                             std::to_string(bw) + "Bcyc");
         }
     }
-    const std::vector<FetchStats> stats = sweepSuite(suite, configs);
+    const SweepResult result = runSweep(suite, configs);
+    report.addSweep("line_x_bandwidth", suite, configs, result,
+                    labels);
+    std::vector<FetchStats> stats;
+    stats.reserve(configs.size());
+    for (size_t c = 0; c < configs.size(); ++c)
+        stats.push_back(result.suite(c));
 
     std::vector<double> best(bandwidths.size(),
                              std::numeric_limits<double>::max());
@@ -78,5 +89,8 @@ main()
                   << "B (" << TextTable::num(best[bi]) << ")  ";
     std::cout << "\npaper shape: optimum grows with bandwidth; "
                  "diminishing returns past 16-32 B/cyc.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

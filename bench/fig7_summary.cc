@@ -22,6 +22,7 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -63,14 +64,23 @@ ladder(const FetchConfig &baseline)
 
 void
 emit(const std::string &title, const FetchConfig &baseline,
-     const SuiteTraces &suite)
+     const SuiteTraces &suite, BenchReport &report,
+     const std::string &grid_name)
 {
     const auto steps = ladder(baseline);
     std::vector<FetchConfig> grid;
+    std::vector<std::string> labels;
     grid.reserve(steps.size());
-    for (const auto &[name, config] : steps)
+    for (const auto &[name, config] : steps) {
         grid.push_back(config);
-    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+        labels.push_back(name);
+    }
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep(grid_name, suite, grid, result, labels);
+    std::vector<FetchStats> stats;
+    stats.reserve(grid.size());
+    for (size_t c = 0; c < grid.size(); ++c)
+        stats.push_back(result.suite(c));
 
     TextTable table(title);
     table.setHeader({"step", "L1 CPIinstr", "L2 CPIinstr",
@@ -91,17 +101,21 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("fig7_summary");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
     emit("Figure 7a: cumulative optimizations — Economy (IBS avg)",
-         economyBaseline(), suite);
+         economyBaseline(), suite, report, "economy");
     emit("Figure 7b: cumulative optimizations — High-Performance "
          "(IBS avg)",
-         highPerfBaseline(), suite);
+         highPerfBaseline(), suite, report, "high_performance");
     std::cout << "paper shape: L2 is the biggest single step; "
                  "pipelining is the biggest interface step;\nthe "
                  "optimized high-perf system still carries ~0.18 "
                  "CPIinstr — the stubborn lower bound.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -7,10 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "cache/cache.h"
 #include "core/fetch_engine.h"
+#include "sim/bench_report.h"
 #include "trace/file.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
@@ -113,6 +115,84 @@ BM_TraceFileWrite(benchmark::State &state)
 }
 BENCHMARK(BM_TraceFileWrite);
 
+/**
+ * Forwards everything to the default console reporter (keeping the
+ * usual google-benchmark output) while recording each measurement as
+ * a BENCH_microbench.json cell.
+ */
+class CapturingReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    CapturingReporter(benchmark::BenchmarkReporter *inner,
+                      BenchReport &report)
+        : inner_(inner), report_(report)
+    {
+    }
+
+    bool
+    ReportContext(const Context &context) override
+    {
+        return inner_->ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            Json stats = Json::object()
+                .set("iterations",
+                     Json::number(
+                         static_cast<uint64_t>(run.iterations)))
+                .set("real_time_seconds",
+                     Json::number(run.real_accumulated_time))
+                .set("cpu_time_seconds",
+                     Json::number(run.cpu_accumulated_time));
+            uint64_t items = run.iterations;
+            if (auto it = run.counters.find("items_per_second");
+                it != run.counters.end()) {
+                stats.set("items_per_second",
+                          Json::number(it->second.value));
+                items = static_cast<uint64_t>(
+                    it->second.value * run.real_accumulated_time);
+            }
+            report_.addCell(run.benchmark_name(), Json::object(),
+                            std::move(stats),
+                            run.real_accumulated_time, items,
+                            "microbench");
+        }
+        inner_->ReportRuns(runs);
+    }
+
+    void Finalize() override { inner_->Finalize(); }
+
+  private:
+    benchmark::BenchmarkReporter *inner_;
+    BenchReport &report_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    ibs::BenchReport report("microbench");
+    char arg0_default[] = "benchmark";
+    char *args_default = arg0_default;
+    if (!argv) {
+        argc = 1;
+        argv = &args_default;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    std::unique_ptr<benchmark::BenchmarkReporter> console(
+        benchmark::CreateDefaultDisplayReporter());
+    CapturingReporter reporter(console.get(), report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    report.write();
+    return 0;
+}

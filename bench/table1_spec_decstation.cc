@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "core/decstation.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -26,6 +27,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table1_spec_decstation");
     const uint64_t n = benchInstructions();
     TextTable table(
         "Table 1: Memory System Performance of the SPEC Benchmarks");
@@ -36,7 +38,11 @@ main()
                               "SPECfp92"}) {
         WorkloadModel model(specComposite(which));
         DecstationModel machine;
+        WallTimer cell_timer;
         const DecstationStats s = machine.run(model, n);
+        report.addCell(which, Json::object(), toJson(s),
+                       cell_timer.seconds(), s.instructions,
+                       "decstation_3100");
         table.addRow({
             which,
             TextTable::num(100.0 * s.userFraction(), 0),
@@ -54,5 +60,8 @@ main()
         "        SPECfp89  0.967/0.100/0.668/0.020/0.179\n"
         "        SPECint92 0.271/0.051/0.084/0.073/0.063\n"
         "        SPECfp92  0.749/0.053/0.436/0.134/0.126\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

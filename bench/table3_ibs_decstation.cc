@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/decstation.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -24,14 +25,18 @@ using namespace ibs;
 
 /** Average the DECstation stats over a suite with data refs on. */
 DecstationStats
-suiteRow(std::vector<WorkloadSpec> suite, uint64_t n)
+suiteRow(std::vector<WorkloadSpec> suite, uint64_t n,
+         BenchReport &report, const std::string &grid)
 {
     DecstationStats total;
     for (WorkloadSpec &spec : suite) {
         spec.data.enabled = true;
         WorkloadModel model(spec);
         DecstationModel machine;
+        WallTimer cell_timer;
         const DecstationStats s = machine.run(model, n);
+        report.addCell(spec.name, Json::object(), toJson(s),
+                       cell_timer.seconds(), s.instructions, grid);
         total.instructions += s.instructions;
         total.userInstructions += s.userInstructions;
         total.icacheMisses += s.icacheMisses;
@@ -63,6 +68,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table3_ibs_decstation");
     const uint64_t n = benchInstructions(800000);
     TextTable table(
         "Table 3: Memory Performance of the IBS Workloads "
@@ -70,15 +76,21 @@ main()
     table.setHeader({"Benchmark", "User%", "OS%", "I-cache CPI",
                      "D-cache CPI", "Write CPI"});
 
-    addRow(table, "IBS (Mach 3.0)", suiteRow(ibsSuite(OsType::Mach),
-                                             n));
+    addRow(table, "IBS (Mach 3.0)",
+           suiteRow(ibsSuite(OsType::Mach), n, report, "ibs_mach"));
     addRow(table, "IBS (Ultrix 3.1)",
-           suiteRow(ibsSuite(OsType::Ultrix), n));
+           suiteRow(ibsSuite(OsType::Ultrix), n, report,
+                    "ibs_ultrix"));
 
     for (const char *which : {"SPECint92", "SPECfp92"}) {
         WorkloadModel model(specComposite(which));
         DecstationModel machine;
-        addRow(table, which, machine.run(model, n));
+        WallTimer cell_timer;
+        const DecstationStats s = machine.run(model, n);
+        report.addCell(which, Json::object(), toJson(s),
+                       cell_timer.seconds(), s.instructions,
+                       "spec92");
+        addRow(table, which, s);
     }
 
     std::cout << table.render();
@@ -87,5 +99,8 @@ main()
         "        IBS/Ultrix 76/24  0.19/0.30/0.11\n"
         "        SPECint92  97/3   0.05/0.08/0.06\n"
         "        SPECfp92   98/2   0.05/0.44/0.13\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

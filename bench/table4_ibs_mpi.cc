@@ -15,6 +15,7 @@
 #include <map>
 
 #include "cache/cache.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
@@ -26,13 +27,17 @@ using namespace ibs;
 
 struct Row
 {
+    uint64_t instructions = 0;
+    uint64_t misses = 0;
     double mpi = 0;
+    double wallSeconds = 0;
     std::map<ComponentKind, double> share;
 };
 
 Row
 measure(const WorkloadSpec &spec, uint64_t n)
 {
+    WallTimer timer;
     WorkloadModel model(spec);
     Cache cache(CacheConfig{8 * 1024, 1, 32, Replacement::LRU});
     std::map<Asid, uint64_t> per_asid;
@@ -52,13 +57,42 @@ measure(const WorkloadSpec &spec, uint64_t n)
     }
 
     Row row;
+    row.instructions = instrs;
+    row.misses = misses;
     row.mpi = 100.0 * static_cast<double>(misses) /
         static_cast<double>(instrs);
     for (const auto &[asid, count] : per_asid)
         row.share[kind_of[asid]] =
             100.0 * static_cast<double>(count) /
             static_cast<double>(instrs);
+    row.wallSeconds = timer.seconds();
     return row;
+}
+
+const char *
+kindName(ComponentKind k)
+{
+    switch (k) {
+    case ComponentKind::User: return "user_pct";
+    case ComponentKind::Kernel: return "kernel_pct";
+    case ComponentKind::BsdServer: return "bsd_pct";
+    case ComponentKind::XServer: return "x_pct";
+    }
+    return "other_pct";
+}
+
+void
+addRowCell(BenchReport &report, const std::string &workload,
+           const Row &row, const std::string &grid)
+{
+    Json stats = Json::object()
+        .set("instructions", Json::number(row.instructions))
+        .set("l1_misses", Json::number(row.misses))
+        .set("mpi100", Json::number(row.mpi));
+    for (const auto &[kind, pct] : row.share)
+        stats.set(kindName(kind), Json::number(pct));
+    report.addCell(workload, Json::object(), std::move(stats),
+                   row.wallSeconds, row.instructions, grid);
 }
 
 } // namespace
@@ -68,6 +102,7 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table4_ibs_mpi");
     const uint64_t n = benchInstructions();
     TextTable table("Table 4: Detailed I-cache Performance of the "
                     "IBS Workloads (8KB DM, 32B lines)");
@@ -77,6 +112,7 @@ main()
     double mach_sum = 0;
     for (IbsBenchmark b : allIbsBenchmarks()) {
         const Row row = measure(makeIbs(b, OsType::Mach), n);
+        addRowCell(report, benchmarkName(b), row, "ibs_mach");
         mach_sum += row.mpi;
         auto pct = [&](ComponentKind k) {
             auto it = row.share.find(k);
@@ -97,14 +133,20 @@ main()
         mach_sum / static_cast<double>(allIbsBenchmarks().size());
 
     double ultrix_sum = 0;
-    for (IbsBenchmark b : allIbsBenchmarks())
-        ultrix_sum += measure(makeIbs(b, OsType::Ultrix), n).mpi;
+    for (IbsBenchmark b : allIbsBenchmarks()) {
+        const Row row = measure(makeIbs(b, OsType::Ultrix), n);
+        addRowCell(report, benchmarkName(b), row, "ibs_ultrix");
+        ultrix_sum += row.mpi;
+    }
     const double ultrix_avg =
         ultrix_sum / static_cast<double>(allIbsBenchmarks().size());
 
     double spec_sum = 0;
-    for (SpecBenchmark b : allSpecBenchmarks())
-        spec_sum += measure(makeSpec(b), n).mpi;
+    for (SpecBenchmark b : allSpecBenchmarks()) {
+        const Row row = measure(makeSpec(b), n);
+        addRowCell(report, benchmarkName(b), row, "spec92");
+        spec_sum += row.mpi;
+    }
     const double spec_avg =
         spec_sum / static_cast<double>(allSpecBenchmarks().size());
 
@@ -121,5 +163,12 @@ main()
               << "Mach/Ultrix MPI ratio: "
               << TextTable::num(mach_avg / ultrix_avg, 2)
               << " (paper: ~1.35)\n";
+
+    report.meta()
+        .set("instructions_per_workload", Json::number(n))
+        .set("mach_avg_mpi100", Json::number(mach_avg))
+        .set("ultrix_avg_mpi100", Json::number(ultrix_avg))
+        .set("spec_avg_mpi100", Json::number(spec_avg));
+    report.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -23,14 +24,25 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table5_baselines");
     const uint64_t n = benchInstructions();
     SuiteTraces spec(specSuite(), n);
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
     const std::vector<FetchConfig> grid = {economyBaseline(),
                                            highPerfBaseline()};
-    const std::vector<FetchStats> on_spec = sweepSuite(spec, grid);
-    const std::vector<FetchStats> on_ibs = sweepSuite(suite, grid);
+    const std::vector<std::string> labels = {"economy",
+                                             "high_performance"};
+    const SweepResult spec_result = runSweep(spec, grid);
+    const SweepResult ibs_result = runSweep(suite, grid);
+    report.addSweep("spec", spec, grid, spec_result, labels);
+    report.addSweep("ibs_mach", suite, grid, ibs_result, labels);
+
+    std::vector<FetchStats> on_spec, on_ibs;
+    for (size_t c = 0; c < grid.size(); ++c) {
+        on_spec.push_back(spec_result.suite(c));
+        on_ibs.push_back(ibs_result.suite(c));
+    }
 
     TextTable table("Table 5: CPIinstr for base system configurations");
     table.setHeader({"", "Economy", "High Performance"});
@@ -44,5 +56,8 @@ main()
                   TextTable::num(on_ibs[1].cpiInstr(), 2)});
     std::cout << table.render();
     std::cout << "\npaper:  SPEC 0.54 / 0.18,  IBS 1.77 / 0.72\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

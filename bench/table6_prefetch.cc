@@ -19,7 +19,9 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -28,24 +30,37 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table6_prefetch");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
+
+    std::vector<FetchConfig> grid;
+    std::vector<std::string> labels;
+    for (uint32_t pf = 0; pf <= 3; ++pf) {
+        for (uint32_t line : {16u, 32u, 64u}) {
+            FetchConfig c;
+            c.l1 = CacheConfig{8 * 1024, 1, line, Replacement::LRU};
+            c.l1Fill = MemoryTiming{6, 16};
+            c.prefetchLines = pf;
+            grid.push_back(c);
+            labels.push_back("pf" + std::to_string(pf) + "_line" +
+                             std::to_string(line) + "B");
+        }
+    }
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep("prefetch", suite, grid, result, labels);
 
     TextTable table("Table 6: Prefetching (L1 CPIinstr, IBS avg, "
                     "8KB DM, L1-L2 16B/cyc @ 6cyc)");
     table.setHeader({"Prefetch lines", "16B line", "32B line",
                      "64B line"});
 
+    size_t cell = 0;
     for (uint32_t pf = 0; pf <= 3; ++pf) {
         std::vector<std::string> row = {TextTable::num(uint64_t{pf})};
-        for (uint32_t line : {16u, 32u, 64u}) {
-            FetchConfig c;
-            c.l1 = CacheConfig{8 * 1024, 1, line, Replacement::LRU};
-            c.l1Fill = MemoryTiming{6, 16};
-            c.prefetchLines = pf;
+        for (int l = 0; l < 3; ++l)
             row.push_back(
-                TextTable::num(suite.runSuite(c).cpiInstr()));
-        }
+                TextTable::num(result.suite(cell++).cpiInstr()));
         table.addRow(row);
     }
     std::cout << table.render();
@@ -53,5 +68,8 @@ main()
                  "0.305/0.271/--  pf=2: 0.270  pf=3: 0.260\n"
                  "shape check: 16B+3pf should beat a plain 64B "
                  "line.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

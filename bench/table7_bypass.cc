@@ -16,7 +16,9 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/table.h"
 #include "workload/ibs.h"
 
@@ -25,9 +27,33 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table7_bypass");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
+    std::vector<FetchConfig> grid;
+    std::vector<std::string> labels;
+    for (bool bypass : {false, true}) {
+        for (uint32_t pf = 0; pf <= 3; ++pf) {
+            for (uint32_t line : {16u, 32u, 64u}) {
+                FetchConfig c;
+                c.l1 =
+                    CacheConfig{8 * 1024, 1, line, Replacement::LRU};
+                c.l1Fill = MemoryTiming{6, 16};
+                c.prefetchLines = pf;
+                c.bypass = bypass;
+                grid.push_back(c);
+                labels.push_back(
+                    std::string(bypass ? "bypass" : "nobypass") +
+                    "_pf" + std::to_string(pf) + "_line" +
+                    std::to_string(line) + "B");
+            }
+        }
+    }
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep("prefetch_bypass", suite, grid, result, labels);
+
+    size_t cell = 0;
     for (bool bypass : {false, true}) {
         TextTable table(std::string("Table 7: Prefetching ") +
                         (bypass ? "with" : "without") +
@@ -37,16 +63,9 @@ main()
         for (uint32_t pf = 0; pf <= 3; ++pf) {
             std::vector<std::string> row = {
                 TextTable::num(uint64_t{pf})};
-            for (uint32_t line : {16u, 32u, 64u}) {
-                FetchConfig c;
-                c.l1 =
-                    CacheConfig{8 * 1024, 1, line, Replacement::LRU};
-                c.l1Fill = MemoryTiming{6, 16};
-                c.prefetchLines = pf;
-                c.bypass = bypass;
+            for (int l = 0; l < 3; ++l)
                 row.push_back(
-                    TextTable::num(suite.runSuite(c).cpiInstr()));
-            }
+                    TextTable::num(result.suite(cell++).cpiInstr()));
             table.addRow(row);
         }
         std::cout << table.render() << "\n";
@@ -55,5 +74,8 @@ main()
                  "0.218/0.224/--; pf=2 0.205; pf=3 0.181\n"
                  "shape check: bypass strictly reduces CPIinstr at "
                  "every grid point.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

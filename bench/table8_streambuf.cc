@@ -22,6 +22,7 @@
 #include <iostream>
 
 #include "core/fetch_config.h"
+#include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/table.h"
@@ -32,12 +33,14 @@ main()
 {
     using namespace ibs;
 
+    BenchReport report("table8_streambuf");
     const uint64_t n = benchInstructions();
     SuiteTraces suite(ibsSuite(OsType::Mach), n);
 
     const std::vector<uint32_t> depths = {0, 1, 3, 6, 12, 18};
     const std::vector<uint32_t> bws = {16, 32};
     std::vector<FetchConfig> grid;
+    std::vector<std::string> labels;
     grid.reserve(depths.size() * bws.size());
     for (uint32_t lines : depths) {
         for (uint32_t bw : bws) {
@@ -48,9 +51,16 @@ main()
             c.pipelined = true;
             c.streamBufferLines = lines;
             grid.push_back(c);
+            labels.push_back("sb" + std::to_string(lines) + "_bw" +
+                             std::to_string(bw) + "Bcyc");
         }
     }
-    const std::vector<FetchStats> stats = sweepSuite(suite, grid);
+    const SweepResult result = runSweep(suite, grid);
+    report.addSweep("stream_buffer", suite, grid, result, labels);
+    std::vector<FetchStats> stats;
+    stats.reserve(grid.size());
+    for (size_t c = 0; c < grid.size(); ++c)
+        stats.push_back(result.suite(c));
 
     TextTable table("Table 8: Pipelined System with a Stream Buffer "
                     "(L1 CPIinstr, IBS avg, 8KB DM)");
@@ -69,5 +79,8 @@ main()
                  "0.147/0.118, 0.122/0.103, 0.114/0.099\n"
                  "shape check: steep gains to ~6 lines, marginal "
                  "beyond.\n";
+
+    report.meta().set("instructions_per_workload", Json::number(n));
+    report.write();
     return 0;
 }

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Smoke-check the machine-readable bench reports: run one fast bench
+# with a small trace length, then validate the BENCH_<name>.json it
+# wrote against the schema in src/sim/bench_report.h.
+#
+# Usage: check_bench_json.sh <bench-binary> <validate_bench_json-binary>
+#
+# Wired in as the ctest "bench_json_schema" (tests/CMakeLists.txt);
+# also runnable by hand from a build tree:
+#
+#   scripts/check_bench_json.sh build/bench/table5_baselines \
+#       build/tools/validate_bench_json
+
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <bench-binary> <validator-binary>" >&2
+    exit 2
+fi
+
+bench="$1"
+validator="$2"
+bench_name=$(basename "$bench")
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/ibs_bench_json.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+# Small trace keeps this ctest fast; the report schema does not
+# depend on the trace length.
+IBS_BENCH_INSTR=20000 IBS_BENCH_JSON_DIR="$workdir" "$bench" \
+    > "$workdir/text_output.txt"
+
+report="$workdir/BENCH_${bench_name}.json"
+if [ ! -f "$report" ]; then
+    echo "FAIL: $bench_name did not write BENCH_${bench_name}.json" >&2
+    exit 1
+fi
+
+"$validator" "$report"
+echo "PASS: ${bench_name} report parses and carries the required keys"

@@ -6,6 +6,7 @@
 #include "sim/sweep.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -42,7 +43,14 @@ runSweep(const SuiteTraces &suite, const std::vector<FetchConfig> &configs,
     auto run_cell = [&](size_t i) {
         const size_t c = i / workloads;
         const size_t w = i % workloads;
-        result.cell(c, w) = suite.runOne(w, configs[c]);
+        const auto start = std::chrono::steady_clock::now();
+        const FetchStats stats = suite.runOne(w, configs[c]);
+        const auto stop = std::chrono::steady_clock::now();
+        result.cell(c, w) = stats;
+        CellTiming &timing = result.timing(c, w);
+        timing.wallSeconds =
+            std::chrono::duration<double>(stop - start).count();
+        timing.instructions = stats.instructions;
     };
 
     if (threads <= 1) {

@@ -38,12 +38,34 @@ namespace ibs {
  */
 unsigned sweepThreads();
 
+/**
+ * Wall-clock cost of one sweep cell, recorded by runSweep for the
+ * machine-readable bench reports. Timing is kept outside FetchStats:
+ * the simulated counters are bit-identical across thread counts and
+ * runs, the wall-clock numbers are not.
+ */
+struct CellTiming
+{
+    double wallSeconds = 0.0;  ///< Simulation time of this cell.
+    uint64_t instructions = 0; ///< Instructions the cell simulated.
+
+    /** Sweep throughput (0 when the cell ran too fast to time). */
+    double
+    instructionsPerSecond() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(instructions) / wallSeconds
+            : 0.0;
+    }
+};
+
 /** Per-cell results of a (config × workload) sweep. */
 class SweepResult
 {
   public:
     SweepResult(size_t configs, size_t workloads)
-        : workloads_(workloads), cells_(configs * workloads)
+        : workloads_(workloads), cells_(configs * workloads),
+          timings_(configs * workloads)
     {}
 
     size_t configCount() const
@@ -65,6 +87,30 @@ class SweepResult
         return cells_[config * workloads_ + workload];
     }
 
+    /** Wall-clock timing of one (config, workload) cell. */
+    const CellTiming &
+    timing(size_t config, size_t workload) const
+    {
+        return timings_[config * workloads_ + workload];
+    }
+
+    CellTiming &
+    timing(size_t config, size_t workload)
+    {
+        return timings_[config * workloads_ + workload];
+    }
+
+    /** Sum of per-cell wall-clock (CPU-seconds of simulation, not
+     *  elapsed time when the sweep ran on several workers). */
+    double
+    totalCellSeconds() const
+    {
+        double total = 0.0;
+        for (const CellTiming &t : timings_)
+            total += t.wallSeconds;
+        return total;
+    }
+
     /**
      * Suite-level stats for one config: cells merged in workload
      * index order, exactly matching SuiteTraces::runSuite.
@@ -83,7 +129,8 @@ class SweepResult
 
   private:
     size_t workloads_;
-    std::vector<FetchStats> cells_; ///< Config-major.
+    std::vector<FetchStats> cells_;   ///< Config-major.
+    std::vector<CellTiming> timings_; ///< Config-major, same index.
 };
 
 /**

@@ -44,9 +44,12 @@ LinearHistogram::percentile(double q) const
         return 0;
     const double target = q * static_cast<double>(total_);
     double acc = 0.0;
+    // Only an occupied bucket can satisfy the quantile: with q = 0
+    // the target is 0 and "acc >= target" holds at bucket 0 even when
+    // counts_[0] == 0, so empty leading buckets must be skipped.
     for (size_t i = 0; i < counts_.size(); ++i) {
         acc += static_cast<double>(counts_[i]);
-        if (acc >= target)
+        if (counts_[i] > 0 && acc >= target)
             return (i + 1) * width_ - 1;
     }
     return counts_.size() * width_; // overflow region
@@ -83,10 +86,11 @@ Log2Histogram::bucketOf(uint64_t value)
 void
 Log2Histogram::add(uint64_t value, uint64_t count)
 {
-    size_t b = bucketOf(value);
+    const size_t b = bucketOf(value);
     if (b >= counts_.size())
-        b = counts_.size() - 1;
-    counts_[b] += count;
+        overflow_ += count;
+    else
+        counts_[b] += count;
     total_ += count;
 }
 
@@ -95,9 +99,12 @@ Log2Histogram::cumulativeFraction(uint64_t value) const
 {
     if (total_ == 0)
         return 0.0;
-    size_t b = bucketOf(value);
-    if (b >= counts_.size())
-        b = counts_.size() - 1;
+    const size_t b = bucketOf(value);
+    if (b >= counts_.size()) {
+        // The value lies in the overflow bin; all mass is at or
+        // below it.
+        return 1.0;
+    }
     uint64_t acc = 0;
     for (size_t i = 0; i <= b; ++i)
         acc += counts_[i];
@@ -113,6 +120,8 @@ Log2Histogram::toString() const
             continue;
         os << "2^" << i << ": " << counts_[i] << "\n";
     }
+    if (overflow_)
+        os << ">=2^" << counts_.size() << ": " << overflow_ << "\n";
     return os.str();
 }
 

@@ -35,11 +35,18 @@ class LinearHistogram
     uint64_t overflow() const { return overflow_; }
     uint64_t total() const { return total_; }
 
-    /** Mean of recorded values (bucket midpoints for binned values). */
+    /** Mean of the exact recorded values (values are summed as
+     *  given, not rounded to bucket midpoints). */
     double mean() const;
 
-    /** Smallest value v such that at least fraction q of the mass is
-     *  at or below v's bucket (q in [0,1]). */
+    /**
+     * Upper edge of the lowest *occupied* bucket whose cumulative
+     * mass reaches fraction q of the total (q in [0,1]).
+     * percentile(0) is the lowest occupied bucket's upper edge, never
+     * an empty leading bucket. When the requested mass lies entirely
+     * in the overflow bin, returns buckets() * width() (the start of
+     * the overflow region).
+     */
     uint64_t percentile(double q) const;
 
     /** Render as "lo-hi: count" lines for diagnostics. */
@@ -60,13 +67,18 @@ class Log2Histogram
     /** @param max_bucket highest exponent tracked before overflow. */
     explicit Log2Histogram(size_t max_bucket = 40);
 
+    /** Record a value; values past the top land in the overflow bin
+     *  (they are NOT folded into the top bucket). */
     void add(uint64_t value, uint64_t count = 1);
 
     size_t buckets() const { return counts_.size(); }
     uint64_t count(size_t bucket) const { return counts_.at(bucket); }
+    uint64_t overflow() const { return overflow_; }
     uint64_t total() const { return total_; }
 
-    /** Fraction of mass in buckets <= the one containing value. */
+    /** Fraction of mass in buckets <= the one containing value.
+     *  Overflow mass counts toward the total but only values past
+     *  max_bucket see it as "at or below" their bin. */
     double cumulativeFraction(uint64_t value) const;
 
     std::string toString() const;
@@ -75,6 +87,7 @@ class Log2Histogram
     static size_t bucketOf(uint64_t value);
 
     std::vector<uint64_t> counts_;
+    uint64_t overflow_ = 0;
     uint64_t total_ = 0;
 };
 

@@ -51,8 +51,20 @@ TraceFileWriter::TraceFileWriter(const std::string &path)
 
 TraceFileWriter::~TraceFileWriter()
 {
-    if (file_)
+    if (!file_)
+        return;
+    // close() throws on flush/seek/fclose failure; a destructor must
+    // never let that escape (throwing during stack unwinding is
+    // std::terminate). Swallow and warn — callers who care about the
+    // failure call close() explicitly and get the exception.
+    try {
         close();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "TraceFileWriter: %s — trace file %s may be "
+                     "incomplete\n",
+                     e.what(), path_.c_str());
+    }
 }
 
 void
@@ -112,14 +124,30 @@ TraceFileWriter::close()
 {
     if (!file_)
         return;
-    flushBuffer();
-    // Patch the record count into the header.
-    if (std::fseek(file_, 8, SEEK_SET) != 0)
-        throw std::runtime_error("TraceFileWriter: seek failed");
-    if (std::fwrite(&count_, sizeof(count_), 1, file_) != 1)
-        throw std::runtime_error("TraceFileWriter: count write failed");
-    std::fclose(file_);
+    std::FILE *f = file_;
+    try {
+        flushBuffer();
+        // Patch the record count into the header.
+        if (std::fseek(f, 8, SEEK_SET) != 0)
+            throw std::runtime_error("TraceFileWriter: seek failed");
+        if (std::fwrite(&count_, sizeof(count_), 1, f) != 1)
+            throw std::runtime_error(
+                "TraceFileWriter: count write failed");
+    } catch (...) {
+        // The file is unusable; release the handle before
+        // propagating so a later close()/destructor doesn't retry on
+        // a dangling stream.
+        file_ = nullptr;
+        std::fclose(f);
+        throw;
+    }
+    // fclose flushes stdio's own buffer; on a full disk that final
+    // write can fail after every fwrite "succeeded", silently losing
+    // the tail of the trace unless the return code is checked.
     file_ = nullptr;
+    if (std::fclose(f) != 0)
+        throw std::runtime_error("TraceFileWriter: fclose failed for " +
+                                 path_);
 }
 
 TraceFileReader::TraceFileReader(const std::string &path)

@@ -34,6 +34,9 @@ class TraceFileWriter
   public:
     /** Open `path` for writing. Throws std::runtime_error on failure. */
     explicit TraceFileWriter(const std::string &path);
+
+    /** Closes the file if still open. Unlike close(), never throws:
+     *  a failed final flush is reported on stderr instead. */
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -45,7 +48,10 @@ class TraceFileWriter
     /** Number of records written so far. */
     uint64_t count() const { return count_; }
 
-    /** Finalize the header and close. Implied by the destructor. */
+    /** Finalize the header and close. Throws std::runtime_error when
+     *  the flush, the header patch or fclose itself fails (a full
+     *  disk surfaces here, not silently). The destructor calls this
+     *  too but swallows the exception with a warning. */
     void close();
 
   private:

@@ -65,6 +65,29 @@ TEST(LinearHistogram, EmptyPercentileIsZero)
     EXPECT_EQ(h.percentile(0.5), 0u);
 }
 
+// Regression: percentile(0) used to report bucket 0's upper edge even
+// when every low bucket was empty ("acc >= target" trivially holds at
+// target 0). It must skip empty leading buckets and land on the
+// lowest *occupied* bucket.
+TEST(LinearHistogram, PercentileZeroSkipsEmptyLeadingBuckets)
+{
+    LinearHistogram h(4, 10);
+    h.add(25); // Bucket 2 = [20, 30).
+    EXPECT_EQ(h.percentile(0.0), 29u);
+    EXPECT_EQ(h.percentile(0.5), 29u);
+    EXPECT_EQ(h.percentile(1.0), 29u);
+}
+
+TEST(LinearHistogram, PercentileAllMassInOverflow)
+{
+    LinearHistogram h(4, 10);
+    h.add(1000, 5);
+    // No occupied bucket can satisfy the quantile: report the start
+    // of the overflow region.
+    EXPECT_EQ(h.percentile(0.0), 40u);
+    EXPECT_EQ(h.percentile(1.0), 40u);
+}
+
 TEST(Log2Histogram, PowerOfTwoBuckets)
 {
     Log2Histogram h;
@@ -91,11 +114,30 @@ TEST(Log2Histogram, CumulativeFraction)
     EXPECT_DOUBLE_EQ(h.cumulativeFraction(1u << 30), 1.0);
 }
 
-TEST(Log2Histogram, SaturatesAtMaxBucket)
+// Regression: values past max_bucket were silently clamped into the
+// top bucket, biasing tail statistics. They must be tracked in a
+// separate overflow bin instead.
+TEST(Log2Histogram, OverflowTrackedSeparately)
 {
     Log2Histogram h(4);
     h.add(UINT64_MAX);
-    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.count(4), 0u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Log2Histogram, OverflowDoesNotInflateTopBucketFraction)
+{
+    Log2Histogram h(4);
+    h.add(1, 99);
+    h.add(uint64_t{1} << 40, 1);
+    EXPECT_EQ(h.overflow(), 1u);
+    // The tail value must not be folded into bucket 4: only 99% of
+    // the mass is at or below 16 (= 2^4).
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(16), 0.99);
+    // A value that itself lies past the top sees all mass below it.
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(uint64_t{1} << 50), 1.0);
+    EXPECT_NE(h.toString().find(">=2^5: 1"), std::string::npos);
 }
 
 TEST(Histogram, ToStringNonEmpty)

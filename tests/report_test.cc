@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the dependency-free JSON emitter/parser and the WallTimer
+ * behind the machine-readable bench reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "stats/report.h"
+
+namespace ibs {
+namespace {
+
+TEST(Json, KindsAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json::null().isNull());
+    EXPECT_TRUE(Json::boolean(true).asBool());
+    EXPECT_FALSE(Json::boolean(false).asBool());
+    EXPECT_TRUE(Json::number(1.5).isNumber());
+    EXPECT_DOUBLE_EQ(Json::number(1.5).asNumber(), 1.5);
+    EXPECT_TRUE(Json::string("x").isString());
+    EXPECT_EQ(Json::string("x").asString(), "x");
+    EXPECT_TRUE(Json::array().isArray());
+    EXPECT_TRUE(Json::object().isObject());
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint)
+{
+    EXPECT_EQ(Json::number(uint64_t{42}).dump(0), "42");
+    EXPECT_EQ(Json::number(int64_t{-7}).dump(0), "-7");
+    EXPECT_EQ(Json::number(0).dump(0), "0");
+    // The full uint64 range survives (a double would round this).
+    EXPECT_EQ(Json::number(UINT64_MAX).dump(0),
+              "18446744073709551615");
+    EXPECT_EQ(Json::number(std::numeric_limits<int64_t>::min()).dump(0),
+              "-9223372036854775808");
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    for (double v : {0.1, 1.0 / 3.0, 2.5, 1e-300, 3.14159265358979,
+                     123456789.123456789}) {
+        const Json parsed = Json::parse(Json::number(v).dump(0));
+        EXPECT_EQ(parsed.asNumber(), v) << "value " << v;
+    }
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    EXPECT_EQ(Json::number(std::nan("")).dump(0), "null");
+    EXPECT_EQ(
+        Json::number(std::numeric_limits<double>::infinity()).dump(0),
+        "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    const Json s = Json::string("a\"b\\c\n\t\x01z");
+    EXPECT_EQ(s.dump(0), "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+    EXPECT_EQ(Json::parse(s.dump(0)).asString(), s.asString());
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json obj = Json::object()
+        .set("zebra", Json::number(1))
+        .set("alpha", Json::number(2))
+        .set("mid", Json::number(3));
+    EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+    // Replacing a key keeps its original position.
+    obj.set("alpha", Json::number(9));
+    EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+    EXPECT_EQ(obj.size(), 3u);
+}
+
+TEST(Json, LookupAndErrors)
+{
+    Json obj = Json::object().set("k", Json::number(5));
+    ASSERT_NE(obj.find("k"), nullptr);
+    EXPECT_DOUBLE_EQ(obj.at("k").asNumber(), 5.0);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    EXPECT_THROW(obj.at("missing"), std::out_of_range);
+
+    Json arr = Json::array().push(Json::number(1));
+    EXPECT_EQ(arr.size(), 1u);
+    EXPECT_DOUBLE_EQ(arr.at(0).asNumber(), 1.0);
+    EXPECT_THROW(arr.at(1), std::out_of_range);
+}
+
+TEST(Json, PrettyPrint)
+{
+    const Json doc = Json::object().set(
+        "a", Json::array().push(Json::number(1)).push(Json::number(2)));
+    EXPECT_EQ(doc.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    EXPECT_EQ(doc.dump(0), "{\"a\":[1,2]}");
+}
+
+TEST(Json, ParseDocument)
+{
+    const Json doc = Json::parse(
+        "  {\"s\": \"hi\", \"n\": -2.5e2, \"b\": true, "
+        "\"z\": null, \"a\": [1, {\"k\": false}]} ");
+    EXPECT_EQ(doc.at("s").asString(), "hi");
+    EXPECT_DOUBLE_EQ(doc.at("n").asNumber(), -250.0);
+    EXPECT_TRUE(doc.at("b").asBool());
+    EXPECT_TRUE(doc.at("z").isNull());
+    EXPECT_EQ(doc.at("a").size(), 2u);
+    EXPECT_FALSE(doc.at("a").at(1).at("k").asBool());
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse(""), std::runtime_error);
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"k\" 1}"), std::runtime_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(Json::parse("truth"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+}
+
+TEST(Json, DumpParseRoundTripNestedDocument)
+{
+    const Json doc = Json::object()
+        .set("bench", Json::string("t"))
+        .set("cells",
+             Json::array().push(
+                 Json::object()
+                     .set("instructions", Json::number(uint64_t{1} << 40))
+                     .set("mpi", Json::number(3.75))))
+        .set("ok", Json::boolean(true));
+    const Json again = Json::parse(doc.dump(2));
+    EXPECT_EQ(again.dump(2), Json::parse(again.dump(2)).dump(2));
+    EXPECT_EQ(
+        again.at("cells").at(0).at("instructions").asNumber(),
+        static_cast<double>(uint64_t{1} << 40));
+}
+
+TEST(WallTimer, MonotoneAndRestartable)
+{
+    WallTimer t;
+    const double a = t.seconds();
+    EXPECT_GE(a, 0.0);
+    const double b = t.seconds();
+    EXPECT_GE(b, a);
+    t.restart();
+    EXPECT_GE(t.seconds(), 0.0);
+}
+
+} // namespace
+} // namespace ibs

@@ -101,6 +101,38 @@ TEST(Sweep, OneThreadEqualsManyThreads)
                                  std::to_string(w));
 }
 
+TEST(Sweep, RecordsPerCellTiming)
+{
+    SuiteTraces suite(specSuite(), 15000);
+    const std::vector<FetchConfig> grid = smallGrid();
+    const SweepResult result = runSweep(suite, grid, 2);
+
+    double total = 0.0;
+    for (size_t c = 0; c < grid.size(); ++c) {
+        for (size_t w = 0; w < suite.count(); ++w) {
+            const CellTiming &t = result.timing(c, w);
+            EXPECT_GE(t.wallSeconds, 0.0);
+            // The timing rides alongside the stats at the same index:
+            // its instruction count must be the cell's own.
+            EXPECT_EQ(t.instructions,
+                      result.cell(c, w).instructions)
+                << "cell " << c << "," << w;
+            if (t.wallSeconds > 0.0) {
+                EXPECT_DOUBLE_EQ(
+                    t.instructionsPerSecond(),
+                    static_cast<double>(t.instructions) /
+                        t.wallSeconds);
+            }
+            total += t.wallSeconds;
+        }
+    }
+    EXPECT_DOUBLE_EQ(result.totalCellSeconds(), total);
+
+    CellTiming untimed;
+    untimed.instructions = 1000;
+    EXPECT_EQ(untimed.instructionsPerSecond(), 0.0);
+}
+
 TEST(Sweep, EmptyGrid)
 {
     SuiteTraces suite({makeSpec(SpecBenchmark::Espresso)}, 5000);

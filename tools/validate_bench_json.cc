@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Schema validator for BENCH_<name>.json reports.
+ *
+ * Exits 0 when every file given on the command line parses as JSON
+ * and carries the required report keys (see src/sim/bench_report.h):
+ * schema_version, bench, threads, total_wall_seconds, and a non-empty
+ * cells array whose entries each have config, workload, stats and a
+ * timing object with wall_seconds / instructions /
+ * instructions_per_second. Any violation prints the file and reason
+ * and exits 1. Used by scripts/check_bench_json.sh (wired in as a
+ * ctest) and handy interactively:
+ *
+ *   ./build/tools/validate_bench_json BENCH_*.json
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stats/report.h"
+
+namespace {
+
+using ibs::Json;
+
+bool
+fail(const std::string &path, const std::string &why)
+{
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), why.c_str());
+    return false;
+}
+
+bool
+requireNumber(const Json &obj, const std::string &key,
+              const std::string &path, const std::string &where)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return fail(path, where + ": missing numeric \"" + key + "\"");
+    return true;
+}
+
+bool
+validateCell(const Json &cell, size_t index, const std::string &path)
+{
+    const std::string where = "cells[" + std::to_string(index) + "]";
+    if (!cell.isObject())
+        return fail(path, where + ": not an object");
+    const Json *workload = cell.find("workload");
+    if (!workload || !workload->isString())
+        return fail(path, where + ": missing string \"workload\"");
+    const Json *config = cell.find("config");
+    if (!config || !config->isObject())
+        return fail(path, where + ": missing object \"config\"");
+    const Json *stats = cell.find("stats");
+    if (!stats || !stats->isObject())
+        return fail(path, where + ": missing object \"stats\"");
+    const Json *timing = cell.find("timing");
+    if (!timing || !timing->isObject())
+        return fail(path, where + ": missing object \"timing\"");
+    return requireNumber(*timing, "wall_seconds", path,
+                         where + ".timing") &&
+        requireNumber(*timing, "instructions", path,
+                      where + ".timing") &&
+        requireNumber(*timing, "instructions_per_second", path,
+                      where + ".timing");
+}
+
+bool
+validateFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(path, "cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json doc;
+    try {
+        doc = Json::parse(buffer.str());
+    } catch (const std::exception &e) {
+        return fail(path, e.what());
+    }
+    if (!doc.isObject())
+        return fail(path, "top level is not an object");
+    if (!requireNumber(doc, "schema_version", path, "top level"))
+        return false;
+    const Json *bench = doc.find("bench");
+    if (!bench || !bench->isString())
+        return fail(path, "missing string \"bench\"");
+    if (!requireNumber(doc, "threads", path, "top level") ||
+        !requireNumber(doc, "total_wall_seconds", path, "top level"))
+        return false;
+    const Json *cells = doc.find("cells");
+    if (!cells || !cells->isArray())
+        return fail(path, "missing array \"cells\"");
+    if (cells->size() == 0)
+        return fail(path, "\"cells\" is empty");
+    for (size_t i = 0; i < cells->size(); ++i) {
+        if (!validateCell(cells->at(i), i, path))
+            return false;
+    }
+    std::printf("%s: ok (%zu cells)\n", path.c_str(), cells->size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s BENCH_<name>.json [more.json...]\n",
+                     argv[0]);
+        return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = validateFile(argv[i]) && ok;
+    return ok ? 0 : 1;
+}
