@@ -1,25 +1,56 @@
 /**
  * @file
- * google-benchmark micro-benchmarks of the simulation substrates
+ * google-benchmark throughput harness for the simulation substrates
  * themselves: how fast the library simulates, which bounds how much
  * of the paper's parameter space a given time budget can sweep.
+ *
+ * Coverage, per config class of the fetch path:
+ *  - raw tag lookups (Cache): direct-mapped vs set-associative, per
+ *    replacement policy, plus the victim and sub-block variants;
+ *  - full FetchEngine fetches/sec for each L1-L2 interface policy
+ *    the paper evaluates (blocking baseline, on-chip L2, prefetch +
+ *    bypass, pipelined L2 + stream buffer);
+ *  - trace materialization cold (workload random walk) vs warm
+ *    (decode from the IBS_TRACE_CACHE_DIR-style on-disk cache),
+ *    which is what the shared trace cache buys every bench binary.
+ *
+ * The trace length honours IBS_BENCH_INSTR (default 1M), so the
+ * perf_smoke ctest can run the whole harness in well under a second.
+ * Every measurement is also recorded as a BENCH_microbench.json cell
+ * (fetches_per_second / items_per_second counters included), giving
+ * the machine-readable reports a throughput baseline to diff across
+ * commits.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.h"
+#include "cache/subblock.h"
+#include "cache/victim.h"
 #include "core/fetch_engine.h"
 #include "sim/bench_report.h"
+#include "sim/runner.h"
 #include "trace/file.h"
+#include "trace/trace_cache.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
 
 namespace {
 
 using namespace ibs;
+
+uint64_t
+traceLength()
+{
+    return benchInstructions(1'000'000);
+}
 
 const std::vector<uint64_t> &
 trace()
@@ -28,13 +59,23 @@ trace()
         std::vector<uint64_t> addrs;
         WorkloadModel model(makeIbs(IbsBenchmark::Gs, OsType::Mach));
         TraceRecord rec;
-        while (addrs.size() < 1000000 && model.next(rec)) {
+        while (addrs.size() < traceLength() && model.next(rec)) {
             if (rec.isInstr())
                 addrs.push_back(rec.vaddr);
         }
         return addrs;
     }();
     return t;
+}
+
+/** Report the loop's per-iteration work as fetches/sec. */
+void
+setFetchRate(benchmark::State &state)
+{
+    state.SetItemsProcessed(state.iterations());
+    state.counters["fetches_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
 }
 
 void
@@ -51,6 +92,8 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+/** Raw tag-lookup throughput; ways:1 is the direct-mapped fast
+ *  path, higher way counts exercise the set-associative probe. */
 void
 BM_CacheAccess(benchmark::State &state)
 {
@@ -63,23 +106,117 @@ BM_CacheAccess(benchmark::State &state)
         benchmark::DoNotOptimize(cache.access(addrs[i]));
         i = i + 1 == addrs.size() ? 0 : i + 1;
     }
-    state.SetItemsProcessed(state.iterations());
+    setFetchRate(state);
 }
-BENCHMARK(BM_CacheAccess)->Args({8, 1})->Args({64, 1})->Args({64, 8});
+BENCHMARK(BM_CacheAccess)
+    ->ArgNames({"KB", "ways"})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 8});
 
 void
-BM_FetchEngineBaseline(benchmark::State &state)
+BM_CacheAccessRandom(benchmark::State &state)
 {
-    FetchEngine engine(economyBaseline());
+    Cache cache(CacheConfig{64 * 1024,
+                            static_cast<uint32_t>(state.range(0)), 32,
+                            Replacement::Random});
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i]));
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    setFetchRate(state);
+}
+BENCHMARK(BM_CacheAccessRandom)->ArgNames({"ways"})->Arg(4);
+
+void
+BM_CacheAccessFifo(benchmark::State &state)
+{
+    Cache cache(CacheConfig{64 * 1024,
+                            static_cast<uint32_t>(state.range(0)), 32,
+                            Replacement::FIFO});
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i]));
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    setFetchRate(state);
+}
+BENCHMARK(BM_CacheAccessFifo)->ArgNames({"ways"})->Arg(4);
+
+void
+BM_VictimCacheAccess(benchmark::State &state)
+{
+    VictimCache cache(CacheConfig{8 * 1024, 1, 32, Replacement::LRU},
+                      4);
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i]));
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    setFetchRate(state);
+}
+BENCHMARK(BM_VictimCacheAccess);
+
+void
+BM_SubBlockCacheAccess(benchmark::State &state)
+{
+    SubBlockCache cache(CacheConfig{8 * 1024, 1, 64, Replacement::LRU},
+                        16);
+    const auto &addrs = trace();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i]).hit);
+        i = i + 1 == addrs.size() ? 0 : i + 1;
+    }
+    setFetchRate(state);
+}
+BENCHMARK(BM_SubBlockCacheAccess);
+
+/** Drive a FetchEngine over the shared trace. */
+void
+runEngine(benchmark::State &state, const FetchConfig &config)
+{
+    FetchEngine engine(config);
     const auto &addrs = trace();
     size_t i = 0;
     for (auto _ : state) {
         engine.fetch(addrs[i]);
         i = i + 1 == addrs.size() ? 0 : i + 1;
     }
-    state.SetItemsProcessed(state.iterations());
+    setFetchRate(state);
+}
+
+void
+BM_FetchEngineBaseline(benchmark::State &state)
+{
+    runEngine(state, economyBaseline());
 }
 BENCHMARK(BM_FetchEngineBaseline);
+
+void
+BM_FetchEngineOnChipL2(benchmark::State &state)
+{
+    runEngine(state,
+              withOnChipL2(economyBaseline(), 128 * 1024, 64, 2));
+}
+BENCHMARK(BM_FetchEngineOnChipL2);
+
+void
+BM_FetchEnginePrefetchBypass(benchmark::State &state)
+{
+    FetchConfig c = economyBaseline();
+    c.l1.lineBytes = 16;
+    c.prefetchLines = 3;
+    c.bypass = true;
+    runEngine(state, c);
+}
+BENCHMARK(BM_FetchEnginePrefetchBypass);
 
 void
 BM_FetchEngineStreamBuffer(benchmark::State &state)
@@ -89,28 +226,79 @@ BM_FetchEngineStreamBuffer(benchmark::State &state)
     c.l1Fill = MemoryTiming{6, 16};
     c.pipelined = true;
     c.streamBufferLines = 6;
-    FetchEngine engine(c);
-    const auto &addrs = trace();
-    size_t i = 0;
-    for (auto _ : state) {
-        engine.fetch(addrs[i]);
-        i = i + 1 == addrs.size() ? 0 : i + 1;
-    }
-    state.SetItemsProcessed(state.iterations());
+    runEngine(state, c);
 }
 BENCHMARK(BM_FetchEngineStreamBuffer);
+
+/** Instructions materialized per workload in the cold/warm pair;
+ *  scaled down from the replay-trace length so one iteration stays
+ *  cheap enough to repeat. */
+uint64_t
+materializeLength()
+{
+    const uint64_t n = traceLength() / 10;
+    return n ? n : 1;
+}
+
+/** Scratch trace-cache directory for the warm-materialization
+ *  benchmark; removed on process exit. */
+const std::string &
+scratchCacheDir()
+{
+    static const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("ibs_microbench_cache_" + std::to_string(::getpid())))
+            .string();
+    return dir;
+}
+
+/** Cold path: run the workload random walk. */
+void
+BM_TraceMaterializeCold(benchmark::State &state)
+{
+    const std::vector<WorkloadSpec> suite = {
+        makeIbs(IbsBenchmark::Gs, OsType::Mach)};
+    const uint64_t n = materializeLength();
+    for (auto _ : state) {
+        SuiteTraces traces(suite, n, "", 1, false);
+        benchmark::DoNotOptimize(traces.length(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TraceMaterializeCold);
+
+/** Warm path: decode the same trace from the on-disk cache. */
+void
+BM_TraceMaterializeCached(benchmark::State &state)
+{
+    const std::vector<WorkloadSpec> suite = {
+        makeIbs(IbsBenchmark::Gs, OsType::Mach)};
+    const uint64_t n = materializeLength();
+    // Populate the scratch cache once; every timed construction
+    // below is then a pure cached load.
+    SuiteTraces warmup(suite, n, scratchCacheDir(), 1, false);
+    for (auto _ : state) {
+        SuiteTraces traces(suite, n, scratchCacheDir(), 1, false);
+        if (!traces.fromCache(0))
+            state.SkipWithError("trace cache miss on warm path");
+        benchmark::DoNotOptimize(traces.length(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TraceMaterializeCached);
 
 void
 BM_TraceFileWrite(benchmark::State &state)
 {
     const std::string path = "/tmp/ibs_microbench.ibst";
     const auto &addrs = trace();
+    const size_t n = addrs.size() < 100000 ? addrs.size() : 100000;
     for (auto _ : state) {
         TraceFileWriter writer(path);
-        for (size_t i = 0; i < 100000; ++i)
+        for (size_t i = 0; i < n; ++i)
             writer.write({addrs[i], 1, RefKind::InstrFetch});
     }
-    state.SetItemsProcessed(state.iterations() * 100000);
+    state.SetItemsProcessed(state.iterations() * n);
     std::remove(path.c_str());
 }
 BENCHMARK(BM_TraceFileWrite);
@@ -118,7 +306,8 @@ BENCHMARK(BM_TraceFileWrite);
 /**
  * Forwards everything to the default console reporter (keeping the
  * usual google-benchmark output) while recording each measurement as
- * a BENCH_microbench.json cell.
+ * a BENCH_microbench.json cell. All user counters (fetches_per_second,
+ * items_per_second, ...) are copied into the cell's stats object.
  */
 class CapturingReporter : public benchmark::BenchmarkReporter
 {
@@ -151,10 +340,10 @@ class CapturingReporter : public benchmark::BenchmarkReporter
                 .set("cpu_time_seconds",
                      Json::number(run.cpu_accumulated_time));
             uint64_t items = run.iterations;
+            for (const auto &[name, counter] : run.counters)
+                stats.set(name, Json::number(counter.value));
             if (auto it = run.counters.find("items_per_second");
                 it != run.counters.end()) {
-                stats.set("items_per_second",
-                          Json::number(it->second.value));
                 items = static_cast<uint64_t>(
                     it->second.value * run.real_accumulated_time);
             }
@@ -179,6 +368,8 @@ int
 main(int argc, char **argv)
 {
     ibs::BenchReport report("microbench");
+    report.meta().set("trace_instructions",
+                      ibs::Json::number(traceLength()));
     char arg0_default[] = "benchmark";
     char *args_default = arg0_default;
     if (!argv) {
@@ -194,5 +385,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     report.write();
+    std::error_code ec;
+    std::filesystem::remove_all(scratchCacheDir(), ec);
     return 0;
 }

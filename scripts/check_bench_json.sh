@@ -3,23 +3,29 @@
 # with a small trace length, then validate the BENCH_<name>.json it
 # wrote against the schema in src/sim/bench_report.h.
 #
-# Usage: check_bench_json.sh <bench-binary> <validate_bench_json-binary>
+# Usage: check_bench_json.sh <bench-binary> <validate_bench_json-binary> \
+#            [extra bench args...]
 #
-# Wired in as the ctest "bench_json_schema" (tests/CMakeLists.txt);
-# also runnable by hand from a build tree:
+# Anything after the two binaries is passed through to the bench
+# invocation — the "perf_smoke" ctest uses this to hand the
+# google-benchmark microbench a --benchmark_min_time override.
+#
+# Wired in as the ctests "bench_json_schema" and "perf_smoke"
+# (tests/CMakeLists.txt); also runnable by hand from a build tree:
 #
 #   scripts/check_bench_json.sh build/bench/table5_baselines \
 #       build/tools/validate_bench_json
 
 set -eu
 
-if [ "$#" -ne 2 ]; then
-    echo "usage: $0 <bench-binary> <validator-binary>" >&2
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <bench-binary> <validator-binary> [bench args...]" >&2
     exit 2
 fi
 
 bench="$1"
 validator="$2"
+shift 2
 bench_name=$(basename "$bench")
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/ibs_bench_json.XXXXXX")
@@ -27,7 +33,7 @@ trap 'rm -rf "$workdir"' EXIT INT TERM
 
 # Small trace keeps this ctest fast; the report schema does not
 # depend on the trace length.
-IBS_BENCH_INSTR=20000 IBS_BENCH_JSON_DIR="$workdir" "$bench" \
+IBS_BENCH_INSTR=20000 IBS_BENCH_JSON_DIR="$workdir" "$bench" "$@" \
     > "$workdir/text_output.txt"
 
 report="$workdir/BENCH_${bench_name}.json"

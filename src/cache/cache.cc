@@ -10,50 +10,52 @@
 
 namespace ibs {
 
+uint64_t
+Cache::lfsrSeed(const CacheConfig &config)
+{
+    // Documented mix (see the header): splitmix64-style avalanche of
+    // the geometry, XORed into 0xace1 and folded to 16 bits.
+    uint64_t h = config.sizeBytes;
+    h ^= (uint64_t{config.assoc} << 32) | config.lineBytes;
+    h *= 0x9e3779b97f4a7c15ull;
+    h ^= h >> 32;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 29;
+    const uint64_t seed = (0xace1 ^ h ^ (h >> 16) ^ (h >> 32)) & 0xffff;
+    return seed ? seed : 0xace1;
+}
+
 Cache::Cache(const CacheConfig &config)
     : config_(config)
 {
     config_.validate();
-    lines_.resize(config_.numSets() * config_.assoc);
-}
-
-uint64_t
-Cache::tagOf(uint64_t addr) const
-{
-    // Tag includes the set bits; comparing full line addresses keeps
-    // the model correct for any (set, way) geometry.
-    return addr >> config_.lineShift();
-}
-
-int
-Cache::findWay(uint64_t set, uint64_t tag) const
-{
-    const size_t base = set * config_.assoc;
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
+    assoc_ = config_.assoc;
+    lineShift_ = config_.lineShift();
+    setMask_ = config_.numSets() - 1;
+    lfsr_ = lfsrSeed(config_);
+    const size_t lines = config_.numSets() * assoc_;
+    tags_.assign(lines, kInvalidTag);
+    stamps_.assign(lines, 0);
+    valid_.assign((lines + 63) / 64, 0);
 }
 
 uint32_t
 Cache::victimWay(uint64_t set)
 {
-    const size_t base = set * config_.assoc;
-    // Prefer an invalid way.
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!lines_[base + w].valid)
+    const size_t base = set * assoc_;
+    // Prefer an invalid way (invalid slots carry kInvalidTag).
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == kInvalidTag)
             return w;
     }
     switch (config_.replacement) {
       case Replacement::LRU:
       case Replacement::FIFO: {
         uint32_t victim = 0;
-        uint64_t oldest = lines_[base].stamp;
-        for (uint32_t w = 1; w < config_.assoc; ++w) {
-            if (lines_[base + w].stamp < oldest) {
-                oldest = lines_[base + w].stamp;
+        uint64_t oldest = stamps_[base];
+        for (uint32_t w = 1; w < assoc_; ++w) {
+            if (stamps_[base + w] < oldest) {
+                oldest = stamps_[base + w];
                 victim = w;
             }
         }
@@ -65,13 +67,13 @@ Cache::victimWay(uint64_t set)
         // until the value lands in range. For power-of-two
         // associativity every draw is accepted, so victim sequences
         // are unchanged there.
-        const uint64_t mask = std::bit_ceil(uint64_t{config_.assoc}) - 1;
+        const uint64_t mask = std::bit_ceil(uint64_t{assoc_}) - 1;
         for (;;) {
             const uint64_t bit = ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^
                                   (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u;
             lfsr_ = (lfsr_ >> 1) | (bit << 15);
             const uint64_t draw = lfsr_ & mask;
-            if (draw < config_.assoc)
+            if (draw < assoc_)
                 return static_cast<uint32_t>(draw);
         }
       }
@@ -79,20 +81,44 @@ Cache::victimWay(uint64_t set)
     return 0;
 }
 
-void
-Cache::fill(uint64_t set, uint64_t tag)
-{
-    const uint32_t way = victimWay(set);
-    Line &line = lines_[set * config_.assoc + way];
-    line.tag = tag;
-    line.valid = true;
-    line.stamp = ++clock_;
-}
-
 bool
 Cache::access(uint64_t addr)
 {
-    return accessEx(addr).hit;
+    // Mirror of accessEx without eviction reporting; kept separate so
+    // the common (no-hierarchy) path pays nothing for the outcome
+    // struct.
+    ++accesses_;
+    // Tag includes the set bits; comparing full line addresses keeps
+    // the model correct for any (set, way) geometry.
+    const uint64_t tag = addr >> lineShift_;
+    const uint64_t set = tag & setMask_;
+    if (assoc_ == 1) {
+        // Direct-mapped fast path: one slot, one compare.
+        if (tags_[set] == tag) {
+            ++hits_;
+            if (config_.replacement == Replacement::LRU)
+                stamps_[set] = ++clock_;
+            return true;
+        }
+        tags_[set] = tag;
+        setValid(set);
+        stamps_[set] = ++clock_;
+        return false;
+    }
+    const size_t base = set * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag) {
+            ++hits_;
+            if (config_.replacement == Replacement::LRU)
+                stamps_[base + w] = ++clock_;
+            return true;
+        }
+    }
+    const size_t slot = base + victimWay(set);
+    tags_[slot] = tag;
+    setValid(slot);
+    stamps_[slot] = ++clock_;
+    return false;
 }
 
 Cache::AccessOutcome
@@ -100,62 +126,79 @@ Cache::accessEx(uint64_t addr)
 {
     ++accesses_;
     AccessOutcome outcome;
-    const uint64_t set = config_.setIndex(addr);
-    const uint64_t tag = tagOf(addr);
-    const int way = findWay(set, tag);
-    if (way >= 0) {
-        ++hits_;
-        if (config_.replacement == Replacement::LRU)
-            lines_[set * config_.assoc + way].stamp = ++clock_;
-        outcome.hit = true;
-        return outcome;
+    const uint64_t tag = addr >> lineShift_;
+    const uint64_t set = tag & setMask_;
+    const size_t base = set * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag) {
+            ++hits_;
+            if (config_.replacement == Replacement::LRU)
+                stamps_[base + w] = ++clock_;
+            outcome.hit = true;
+            return outcome;
+        }
     }
-    const uint32_t victim = victimWay(set);
-    Line &line = lines_[set * config_.assoc + victim];
-    if (line.valid) {
+    const size_t slot = base + victimWay(set);
+    if (tags_[slot] != kInvalidTag) {
         outcome.evicted = true;
-        outcome.victimAddr = line.tag << config_.lineShift();
+        outcome.victimAddr = tags_[slot] << lineShift_;
     }
-    line.tag = tag;
-    line.valid = true;
-    line.stamp = ++clock_;
+    tags_[slot] = tag;
+    setValid(slot);
+    stamps_[slot] = ++clock_;
     return outcome;
 }
 
 bool
 Cache::contains(uint64_t addr) const
 {
-    return findWay(config_.setIndex(addr), tagOf(addr)) >= 0;
+    const uint64_t tag = addr >> lineShift_;
+    const size_t base = (tag & setMask_) * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag)
+            return true;
+    }
+    return false;
 }
 
 void
 Cache::insert(uint64_t addr)
 {
-    const uint64_t set = config_.setIndex(addr);
-    const uint64_t tag = tagOf(addr);
-    const int way = findWay(set, tag);
-    if (way >= 0) {
-        if (config_.replacement == Replacement::LRU)
-            lines_[set * config_.assoc + way].stamp = ++clock_;
-        return;
+    const uint64_t tag = addr >> lineShift_;
+    const uint64_t set = tag & setMask_;
+    const size_t base = set * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag) {
+            if (config_.replacement == Replacement::LRU)
+                stamps_[base + w] = ++clock_;
+            return;
+        }
     }
-    fill(set, tag);
+    const size_t slot = base + victimWay(set);
+    tags_[slot] = tag;
+    setValid(slot);
+    stamps_[slot] = ++clock_;
 }
 
 void
 Cache::invalidate(uint64_t addr)
 {
-    const uint64_t set = config_.setIndex(addr);
-    const int way = findWay(set, tagOf(addr));
-    if (way >= 0)
-        lines_[set * config_.assoc + way].valid = false;
+    const uint64_t tag = addr >> lineShift_;
+    const size_t base = (tag & setMask_) * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag) {
+            tags_[base + w] = kInvalidTag;
+            clearValid(base + w);
+            return;
+        }
+    }
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &line : lines_)
-        line.valid = false;
+    tags_.assign(tags_.size(), kInvalidTag);
+    valid_.assign(valid_.size(), 0);
 }
 
 void
@@ -169,8 +212,8 @@ uint64_t
 Cache::validLines() const
 {
     uint64_t n = 0;
-    for (const auto &line : lines_)
-        n += line.valid ? 1 : 0;
+    for (uint64_t word : valid_)
+        n += static_cast<uint64_t>(std::popcount(word));
     return n;
 }
 
@@ -178,10 +221,10 @@ std::vector<uint64_t>
 Cache::validLineAddrs() const
 {
     std::vector<uint64_t> out;
-    out.reserve(lines_.size());
-    for (const auto &line : lines_) {
-        if (line.valid)
-            out.push_back(line.tag << config_.lineShift());
+    out.reserve(tags_.size());
+    for (size_t i = 0; i < tags_.size(); ++i) {
+        if (isValid(i))
+            out.push_back(tags_[i] << lineShift_);
     }
     return out;
 }

@@ -6,6 +6,14 @@
  * core/FetchEngine and core/DecstationModel. This separation — *what
  * misses* vs *what a miss costs* — is what lets Tables 5-8 share one
  * miss model under different L1-L2 interface policies.
+ *
+ * Storage is structure-of-arrays: packed tag and stamp vectors plus a
+ * valid bitset, rather than a vector of per-line structs. The tag
+ * probe — the inner loop of every trace-driven simulation — then
+ * walks 8-byte tags instead of 24-byte padded structs, and the
+ * direct-mapped case reduces to a single load-compare. Geometry
+ * (set mask, line shift, way count) is precomputed at construction so
+ * the access path performs no divisions and re-derives nothing.
  */
 
 #ifndef IBS_CACHE_CACHE_H
@@ -84,29 +92,59 @@ class Cache
     /** Line addresses of all valid lines (inclusion checking). */
     std::vector<uint64_t> validLineAddrs() const;
 
-  private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        uint64_t stamp = 0; ///< Recency (LRU) or insertion (FIFO) time.
-        bool valid = false;
-    };
+    /**
+     * Initial LFSR state for Replacement::Random, derived from the
+     * cache geometry. Seeding every instance with the same constant
+     * would make the victim streams of distinct caches in one
+     * simulation (L1 and L2, say) step the *same* LFSR sequence in
+     * lockstep — correlated replacement the hardware would not have.
+     * The mix is deterministic and documented so traces remain
+     * reproducible: splitmix64-style avalanche of
+     * (sizeBytes, assoc, lineBytes) XORed into the classic 0xace1,
+     * folded to the LFSR's 16 bits, with 0xace1 substituted should
+     * the fold come out zero (an all-zero Galois LFSR never leaves
+     * zero).
+     */
+    static uint64_t lfsrSeed(const CacheConfig &config);
 
-    /** Find the way holding `tag` in `set`, or -1. */
-    int findWay(uint64_t set, uint64_t tag) const;
+  private:
+    /** Tag value stored in invalid slots. Real tags are
+     *  addr >> lineShift with lineShift >= 2, so they can never equal
+     *  ~0; the hot lookup therefore compares tags alone, without a
+     *  separate valid-bit load. */
+    static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+
+    bool isValid(size_t idx) const
+    {
+        return (valid_[idx >> 6] >> (idx & 63)) & 1u;
+    }
+    void setValid(size_t idx)
+    {
+        valid_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    }
+    void clearValid(size_t idx)
+    {
+        valid_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+    }
 
     /** Choose a victim way in `set` per the replacement policy. */
     uint32_t victimWay(uint64_t set);
 
-    /** Install `tag` into `set`, victimizing as needed. */
-    void fill(uint64_t set, uint64_t tag);
-
-    uint64_t tagOf(uint64_t addr) const;
-
     CacheConfig config_;
-    std::vector<Line> lines_; ///< numSets * assoc, way-major within set.
+
+    // Geometry, precomputed once in the constructor so the access
+    // path is shift-mask-compare only.
+    uint32_t assoc_ = 1;
+    unsigned lineShift_ = 0;
+    uint64_t setMask_ = 0; ///< numSets - 1.
+
+    // Line state, structure-of-arrays, way-major within a set.
+    std::vector<uint64_t> tags_;   ///< kInvalidTag when invalid.
+    std::vector<uint64_t> stamps_; ///< Recency (LRU) / insertion (FIFO).
+    std::vector<uint64_t> valid_;  ///< Bitset, one bit per line.
+
     uint64_t clock_ = 0;
-    uint64_t lfsr_ = 0xace1u; ///< For Replacement::Random.
+    uint64_t lfsr_; ///< For Replacement::Random; see lfsrSeed().
     uint64_t accesses_ = 0;
     uint64_t hits_ = 0;
 };

@@ -21,34 +21,28 @@ SubBlockCache::SubBlockCache(const CacheConfig &config,
     subsPerLine_ = config.lineBytes / sub_block_bytes;
     if (subsPerLine_ > 32)
         throw std::invalid_argument("at most 32 sub-blocks per line");
-    lines_.resize(config_.numSets() * config_.assoc);
-}
-
-int
-SubBlockCache::findWay(uint64_t set, uint64_t tag) const
-{
-    const size_t base = set * config_.assoc;
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
+    assoc_ = config_.assoc;
+    lineShift_ = config_.lineShift();
+    setMask_ = config_.numSets() - 1;
+    const size_t lines = config_.numSets() * assoc_;
+    tags_.assign(lines, kInvalidTag);
+    stamps_.assign(lines, 0);
+    validMask_.assign(lines, 0);
 }
 
 uint32_t
 SubBlockCache::victimWay(uint64_t set) const
 {
-    const size_t base = set * config_.assoc;
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!lines_[base + w].valid)
+    const size_t base = set * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == kInvalidTag)
             return w;
     }
     uint32_t victim = 0;
-    uint64_t oldest = lines_[base].stamp;
-    for (uint32_t w = 1; w < config_.assoc; ++w) {
-        if (lines_[base + w].stamp < oldest) {
-            oldest = lines_[base + w].stamp;
+    uint64_t oldest = stamps_[base];
+    for (uint32_t w = 1; w < assoc_; ++w) {
+        if (stamps_[base + w] < oldest) {
+            oldest = stamps_[base + w];
             victim = w;
         }
     }
@@ -59,17 +53,19 @@ SubBlockResult
 SubBlockCache::access(uint64_t addr)
 {
     ++accesses_;
-    const uint64_t set = config_.setIndex(addr);
-    const uint64_t tag = addr >> config_.lineShift();
+    const uint64_t tag = addr >> lineShift_;
+    const uint64_t set = tag & setMask_;
     const uint32_t sub = static_cast<uint32_t>(
         (addr & (config_.lineBytes - 1)) / subBytes_);
+    const size_t base = set * assoc_;
 
     SubBlockResult result;
-    int way = findWay(set, tag);
-    if (way >= 0) {
-        Line &line = lines_[set * config_.assoc + way];
-        line.stamp = ++clock_;
-        if (line.validMask & (1u << sub)) {
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] != tag)
+            continue;
+        const size_t slot = base + w;
+        stamps_[slot] = ++clock_;
+        if (validMask_[slot] & (1u << sub)) {
             result.hit = true;
             return result;
         }
@@ -77,8 +73,8 @@ SubBlockCache::access(uint64_t addr)
         // sub-block to the end of the line.
         ++misses_;
         for (uint32_t s = sub; s < subsPerLine_; ++s) {
-            if (!(line.validMask & (1u << s))) {
-                line.validMask |= 1u << s;
+            if (!(validMask_[slot] & (1u << s))) {
+                validMask_[slot] |= 1u << s;
                 ++result.filled;
             }
         }
@@ -90,14 +86,12 @@ SubBlockCache::access(uint64_t addr)
     ++misses_;
     ++tagMisses_;
     result.tagMiss = true;
-    const uint32_t victim = victimWay(set);
-    Line &line = lines_[set * config_.assoc + victim];
-    line.tag = tag;
-    line.valid = true;
-    line.stamp = ++clock_;
-    line.validMask = 0;
+    const size_t slot = base + victimWay(set);
+    tags_[slot] = tag;
+    stamps_[slot] = ++clock_;
+    validMask_[slot] = 0;
     for (uint32_t s = sub; s < subsPerLine_; ++s) {
-        line.validMask |= 1u << s;
+        validMask_[slot] |= 1u << s;
         ++result.filled;
     }
     filled_ += result.filled;
@@ -107,10 +101,8 @@ SubBlockCache::access(uint64_t addr)
 void
 SubBlockCache::invalidateAll()
 {
-    for (auto &line : lines_) {
-        line.valid = false;
-        line.validMask = 0;
-    }
+    tags_.assign(tags_.size(), kInvalidTag);
+    validMask_.assign(validMask_.size(), 0);
 }
 
 } // namespace ibs

@@ -59,21 +59,24 @@ class SubBlockCache
     void invalidateAll();
 
   private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        uint64_t stamp = 0;
-        uint32_t validMask = 0; ///< Bit i = sub-block i present.
-        bool valid = false;
-    };
+    /** Tag stored in invalid slots (cannot collide with a real tag,
+     *  which is at most addr >> 2). */
+    static constexpr uint64_t kInvalidTag = ~uint64_t{0};
 
-    int findWay(uint64_t set, uint64_t tag) const;
     uint32_t victimWay(uint64_t set) const;
 
     CacheConfig config_;
     uint32_t subBytes_;
     uint32_t subsPerLine_;
-    std::vector<Line> lines_;
+
+    // Precomputed geometry + SoA line state (see cache/cache.h for
+    // the layout rationale).
+    uint32_t assoc_ = 1;
+    unsigned lineShift_ = 0;
+    uint64_t setMask_ = 0;
+    std::vector<uint64_t> tags_;      ///< kInvalidTag when invalid.
+    std::vector<uint64_t> stamps_;
+    std::vector<uint32_t> validMask_; ///< Bit i = sub-block i present.
     uint64_t clock_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;

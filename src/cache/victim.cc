@@ -14,34 +14,27 @@ VictimCache::VictimCache(const CacheConfig &config,
     : config_(config), victimLines_(victim_lines)
 {
     config_.validate();
-    lines_.resize(config_.numSets() * config_.assoc);
-}
-
-int
-VictimCache::findWay(uint64_t set, uint64_t tag) const
-{
-    const size_t base = set * config_.assoc;
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
+    assoc_ = config_.assoc;
+    lineShift_ = config_.lineShift();
+    setMask_ = config_.numSets() - 1;
+    const size_t lines = config_.numSets() * assoc_;
+    tags_.assign(lines, kInvalidTag);
+    stamps_.assign(lines, 0);
 }
 
 uint32_t
 VictimCache::victimWay(uint64_t set) const
 {
-    const size_t base = set * config_.assoc;
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!lines_[base + w].valid)
+    const size_t base = set * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == kInvalidTag)
             return w;
     }
     uint32_t victim = 0;
-    uint64_t oldest = lines_[base].stamp;
-    for (uint32_t w = 1; w < config_.assoc; ++w) {
-        if (lines_[base + w].stamp < oldest) {
-            oldest = lines_[base + w].stamp;
+    uint64_t oldest = stamps_[base];
+    for (uint32_t w = 1; w < assoc_; ++w) {
+        if (stamps_[base + w] < oldest) {
+            oldest = stamps_[base + w];
             victim = w;
         }
     }
@@ -72,31 +65,30 @@ int
 VictimCache::access(uint64_t addr)
 {
     ++accesses_;
-    const uint64_t set = config_.setIndex(addr);
-    const uint64_t tag = addr >> config_.lineShift();
+    const uint64_t tag = addr >> lineShift_;
+    const uint64_t set = tag & setMask_;
     const uint64_t line_addr = config_.lineAddr(addr);
+    const size_t base = set * assoc_;
 
-    const int way = findWay(set, tag);
-    if (way >= 0) {
-        ++mainHits_;
-        lines_[set * config_.assoc + way].stamp = ++clock_;
-        return 0;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag) {
+            ++mainHits_;
+            stamps_[base + w] = ++clock_;
+            return 0;
+        }
     }
 
     // Choose the main-cache victim; the incoming line replaces it.
-    const uint32_t w = victimWay(set);
-    Line &line = lines_[set * config_.assoc + w];
-    const bool had = line.valid;
-    const uint64_t evicted =
-        line.tag << config_.lineShift();
+    const size_t slot = base + victimWay(set);
+    const bool had = tags_[slot] != kInvalidTag;
+    const uint64_t evicted = tags_[slot] << lineShift_;
 
     const bool in_victim = popVictim(line_addr);
     if (in_victim)
         ++victimHits_;
 
-    line.tag = tag;
-    line.valid = true;
-    line.stamp = ++clock_;
+    tags_[slot] = tag;
+    stamps_[slot] = ++clock_;
     if (had)
         pushVictim(evicted);
     return in_victim ? 1 : 2;
@@ -105,8 +97,7 @@ VictimCache::access(uint64_t addr)
 void
 VictimCache::invalidateAll()
 {
-    for (auto &line : lines_)
-        line.valid = false;
+    tags_.assign(tags_.size(), kInvalidTag);
     victims_.clear();
 }
 

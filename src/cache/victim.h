@@ -59,14 +59,10 @@ class VictimCache
     void invalidateAll();
 
   private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        uint64_t stamp = 0;
-        bool valid = false;
-    };
+    /** Tag stored in invalid slots (cannot collide with a real tag,
+     *  which is at most addr >> 2). */
+    static constexpr uint64_t kInvalidTag = ~uint64_t{0};
 
-    int findWay(uint64_t set, uint64_t tag) const;
     uint32_t victimWay(uint64_t set) const;
 
     /** Push an evicted line into the victim buffer. */
@@ -77,7 +73,15 @@ class VictimCache
 
     CacheConfig config_;
     uint32_t victimLines_;
-    std::vector<Line> lines_;
+
+    // Precomputed geometry + SoA line state (see cache/cache.h for
+    // the layout rationale).
+    uint32_t assoc_ = 1;
+    unsigned lineShift_ = 0;
+    uint64_t setMask_ = 0;
+    std::vector<uint64_t> tags_;   ///< kInvalidTag when invalid.
+    std::vector<uint64_t> stamps_;
+
     std::deque<uint64_t> victims_; ///< FIFO of line addresses.
     uint64_t clock_ = 0;
     uint64_t accesses_ = 0;

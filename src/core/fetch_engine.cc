@@ -15,7 +15,7 @@ FetchEngine::FetchEngine(const FetchConfig &config)
 {
     config_.validate();
     if (config_.hasL2 && !config_.perfectL2)
-        l2_ = std::make_unique<Cache>(config_.l2);
+        l2_.emplace(config_.l2);
 }
 
 uint64_t

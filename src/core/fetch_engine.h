@@ -28,7 +28,7 @@
 #define IBS_CORE_FETCH_ENGINE_H
 
 #include <cstdint>
-#include <memory>
+#include <optional>
 
 #include "cache/cache.h"
 #include "cache/stream_buffer.h"
@@ -96,7 +96,10 @@ class FetchEngine
 
     FetchConfig config_;
     Cache l1_;
-    std::unique_ptr<Cache> l2_;
+    // Inline optional rather than a heap indirection: l2Charge sits
+    // on the per-reference hot path, and the L2's tag probe should
+    // not start with a pointer chase to a separate allocation.
+    std::optional<Cache> l2_;
     StreamBuffer stream_;
     PipelinedPort port_;
 

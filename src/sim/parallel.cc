@@ -1,0 +1,64 @@
+/**
+ * @file
+ * parallelFor implementation.
+ */
+
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ibs {
+
+void
+parallelFor(size_t total, unsigned threads,
+            const std::function<void(size_t)> &fn)
+{
+    if (total == 0)
+        return;
+    if (threads > total)
+        threads = static_cast<unsigned>(total);
+
+    if (threads <= 1) {
+        for (size_t i = 0; i < total; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        try {
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= total)
+                    return;
+                fn(i);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+            // Drain the queue so the other workers stop promptly.
+            next.store(total, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace ibs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared thread-pool primitive for embarrassingly parallel index
+ * spaces.
+ *
+ * Both the sweep executor (one task per (config, workload) cell) and
+ * SuiteTraces materialization (one task per workload) fan independent
+ * work items out over std::thread workers. parallelFor is that pool:
+ * a dynamic work-stealing loop over [0, total) driven by a shared
+ * atomic cursor, because item costs vary wildly (a 256-KB L2 cell or
+ * a server-heavy workload is many times the work of a baseline cell)
+ * and static striping would leave workers idle.
+ *
+ * Determinism contract: `fn(i)` must write only state owned by item
+ * `i`. Under that contract the results are bit-for-bit identical to
+ * running the loop serially, regardless of worker count or
+ * scheduling. The first exception thrown by any item is rethrown on
+ * the calling thread after the pool drains; remaining items may be
+ * skipped.
+ */
+
+#ifndef IBS_SIM_PARALLEL_H
+#define IBS_SIM_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace ibs {
+
+/**
+ * Run `fn(i)` for every i in [0, total) on up to `threads` workers.
+ *
+ * @param total index-space size
+ * @param threads worker count; clamped to total, 0 or 1 runs the
+ *        loop on the calling thread with no pool
+ * @param fn per-item work; must only touch item-owned state
+ */
+void parallelFor(size_t total, unsigned threads,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace ibs
+
+#endif // IBS_SIM_PARALLEL_H

@@ -9,6 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/parallel.h"
+#include "sim/sweep.h"
+#include "trace/trace_cache.h"
+
 namespace ibs {
 
 uint64_t
@@ -53,22 +57,74 @@ runFetch(const WorkloadSpec &spec, const FetchConfig &config,
 
 SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
                          uint64_t instructions_per_workload)
+    : SuiteTraces(suite, instructions_per_workload, traceCacheDir(), 0)
+{
+}
+
+SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
+                         uint64_t instructions_per_workload,
+                         const std::string &cache_dir, unsigned threads,
+                         bool log_cache_hits)
+    : requested_(instructions_per_workload)
 {
     names_.reserve(suite.size());
-    traces_.reserve(suite.size());
-    for (const WorkloadSpec &spec : suite) {
+    for (const WorkloadSpec &spec : suite)
         names_.push_back(spec.name);
-        WorkloadModel model(spec);
+    traces_.resize(suite.size());
+    fromCache_.assign(suite.size(), 0);
+
+    if (threads == 0)
+        threads = sweepThreads();
+
+    // One workload per pool item: each writes only its own trace
+    // slot, so results are identical to the old serial loop for any
+    // worker count.
+    parallelFor(suite.size(), threads, [&](size_t i) {
+        const WorkloadSpec &spec = suite[i];
+        const TraceCacheKey key{spec.name, spec.seed,
+                                instructions_per_workload,
+                                kTraceModelVersion};
         std::vector<uint64_t> addrs;
-        addrs.reserve(instructions_per_workload);
-        TraceRecord rec;
-        while (addrs.size() < instructions_per_workload &&
-               model.next(rec)) {
-            if (rec.isInstr())
-                addrs.push_back(rec.vaddr);
+        if (!cache_dir.empty() &&
+            loadCachedTrace(cache_dir, key, addrs)) {
+            fromCache_[i] = 1;
+            if (log_cache_hits) {
+                std::fprintf(stderr,
+                             "ibs: trace cache hit for %s "
+                             "(%zu instructions)\n",
+                             spec.name.c_str(), addrs.size());
+            }
+        } else {
+            WorkloadModel model(spec);
+            addrs.reserve(instructions_per_workload);
+            TraceRecord rec;
+            while (addrs.size() < instructions_per_workload &&
+                   model.next(rec)) {
+                if (rec.isInstr())
+                    addrs.push_back(rec.vaddr);
+            }
+            if (!cache_dir.empty())
+                storeCachedTrace(cache_dir, key, addrs);
         }
-        traces_.push_back(std::move(addrs));
-    }
+        if (addrs.size() < instructions_per_workload) {
+            std::fprintf(stderr,
+                         "ibs: workload %s drained after %zu of %llu "
+                         "instructions; its trace is short\n",
+                         spec.name.c_str(), addrs.size(),
+                         static_cast<unsigned long long>(
+                             instructions_per_workload));
+        }
+        traces_[i] = std::move(addrs);
+    });
+}
+
+size_t
+SuiteTraces::cacheHits() const
+{
+    size_t hits = 0;
+    for (uint8_t flag : fromCache_)
+        hits += flag;
+    return hits;
 }
 
 FetchStats

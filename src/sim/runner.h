@@ -44,6 +44,16 @@ FetchStats runFetch(const WorkloadSpec &spec, const FetchConfig &config,
 /**
  * Pre-generated instruction traces for a suite of workloads.
  *
+ * Materialization — the expensive workload random walk — runs one
+ * workload per worker on the shared sim/parallel.h pool, and is
+ * skipped entirely for workloads whose trace is already in the
+ * on-disk cache (trace/trace_cache.h, enabled by setting
+ * IBS_TRACE_CACHE_DIR): the trace is then decoded from its IBST file
+ * instead of regenerated, with checksum validation and silent
+ * regeneration on any mismatch. Either path yields bit-identical
+ * traces; a cache hit logs one line on stderr so warm runs are
+ * observable.
+ *
  * Thread-safety: once constructed, a SuiteTraces is immutable; every
  * const member (runOne, runSuite, addresses, ...) only reads the
  * stored traces and builds simulation state on the caller's stack,
@@ -55,11 +65,30 @@ class SuiteTraces
 {
   public:
     /**
+     * Materialize with the defaults every bench uses: cache directory
+     * from $IBS_TRACE_CACHE_DIR (none when unset) and the sweep
+     * executor's worker count.
+     *
      * @param suite workload specs (instruction streams only)
      * @param instructions_per_workload trace length for each
      */
     SuiteTraces(const std::vector<WorkloadSpec> &suite,
                 uint64_t instructions_per_workload);
+
+    /**
+     * Full-control constructor.
+     *
+     * @param cache_dir on-disk trace cache directory; "" disables
+     *        persistence
+     * @param threads materialization workers; 0 means sweepThreads()
+     * @param log_cache_hits emit the per-workload stderr line on a
+     *        cache hit (false for harnesses that rebuild suites in a
+     *        loop, e.g. the microbench)
+     */
+    SuiteTraces(const std::vector<WorkloadSpec> &suite,
+                uint64_t instructions_per_workload,
+                const std::string &cache_dir, unsigned threads,
+                bool log_cache_hits = true);
 
     size_t count() const { return traces_.size(); }
     const std::string &name(size_t i) const { return names_[i]; }
@@ -70,6 +99,22 @@ class SuiteTraces
         return traces_[i];
     }
 
+    /** Trace length requested at construction. */
+    uint64_t instructionsRequested() const { return requested_; }
+
+    /**
+     * Actual trace length of workload `i`. Shorter than
+     * instructionsRequested() only when the workload model drained
+     * early (also warned once on stderr during construction).
+     */
+    uint64_t length(size_t i) const { return traces_[i].size(); }
+
+    /** True when workload `i` was loaded from the on-disk cache. */
+    bool fromCache(size_t i) const { return fromCache_[i] != 0; }
+
+    /** Number of workloads served from the on-disk cache. */
+    size_t cacheHits() const;
+
     /** Run one workload's trace through a configuration. */
     FetchStats runOne(size_t i, const FetchConfig &config) const;
 
@@ -77,8 +122,13 @@ class SuiteTraces
     FetchStats runSuite(const FetchConfig &config) const;
 
   private:
+    uint64_t requested_ = 0;
     std::vector<std::string> names_;
     std::vector<std::vector<uint64_t>> traces_;
+    // Per-workload flags; uint8_t, not vector<bool>, so parallel
+    // workers can write distinct elements without racing on shared
+    // bit-packed words.
+    std::vector<uint8_t> fromCache_;
 };
 
 } // namespace ibs

@@ -5,11 +5,10 @@
 
 #include "sim/sweep.h"
 
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <mutex>
 #include <thread>
+
+#include "sim/parallel.h"
 
 namespace ibs {
 
@@ -37,10 +36,11 @@ runSweep(const SuiteTraces &suite, const std::vector<FetchConfig> &configs,
 
     if (threads == 0)
         threads = sweepThreads();
-    if (threads > total)
-        threads = static_cast<unsigned>(total);
 
-    auto run_cell = [&](size_t i) {
+    // Each cell writes only its own pre-sized slot, so the shared
+    // pool needs no synchronization on the results (see
+    // sim/parallel.h for the scheduling and determinism contract).
+    parallelFor(total, threads, [&](size_t i) {
         const size_t c = i / workloads;
         const size_t w = i % workloads;
         const auto start = std::chrono::steady_clock::now();
@@ -51,50 +51,7 @@ runSweep(const SuiteTraces &suite, const std::vector<FetchConfig> &configs,
         timing.wallSeconds =
             std::chrono::duration<double>(stop - start).count();
         timing.instructions = stats.instructions;
-    };
-
-    if (threads <= 1) {
-        for (size_t i = 0; i < total; ++i)
-            run_cell(i);
-        return result;
-    }
-
-    // Dynamic work stealing off a shared atomic cursor: cells differ
-    // wildly in cost (a 256-KB L2 cell simulates far more state than
-    // a baseline cell), so static striping would leave workers idle.
-    // Each cell writes only its own pre-sized slot, so no
-    // synchronization is needed on the results.
-    std::atomic<size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&]() {
-        try {
-            for (;;) {
-                const size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= total)
-                    return;
-                run_cell(i);
-            }
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error)
-                first_error = std::current_exception();
-            // Drain the queue so the other workers stop promptly.
-            next.store(total, std::memory_order_relaxed);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-
-    if (first_error)
-        std::rethrow_exception(first_error);
+    });
     return result;
 }
 

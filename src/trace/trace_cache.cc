@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Trace cache implementation.
+ */
+
+#include "trace/trace_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/file.h"
+
+namespace ibs {
+
+namespace {
+
+/** Sidecar format version (independent of IBST and model versions). */
+constexpr uint32_t SIDECAR_VERSION = 1;
+
+/** File-name-safe form of a workload name. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '-' || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out.empty() ? std::string("trace") : out;
+}
+
+} // namespace
+
+std::string
+traceCacheDir()
+{
+    const char *env = std::getenv("IBS_TRACE_CACHE_DIR");
+    return env && *env ? std::string(env) : std::string();
+}
+
+std::string
+traceCachePath(const std::string &dir, const TraceCacheKey &key)
+{
+    std::ostringstream os;
+    os << sanitize(key.workload) << "-s" << key.seed << "-n"
+       << key.instructions << "-v" << key.modelVersion << ".ibst";
+    return (std::filesystem::path(dir) / os.str()).string();
+}
+
+uint64_t
+traceChecksum(const std::vector<uint64_t> &addrs)
+{
+    // FNV-1a over the little-endian bytes of each address.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t a : addrs) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (a >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+bool
+loadCachedTrace(const std::string &dir, const TraceCacheKey &key,
+                std::vector<uint64_t> &addrs)
+{
+    const std::string path = traceCachePath(dir, key);
+    // Parse and cross-check the sidecar first: it pins the exact key
+    // this trace was generated under. The file name encodes the same
+    // key, but the sidecar is what defends against renamed or
+    // hand-edited cache entries.
+    std::ifstream side(path + ".key");
+    if (!side)
+        return false;
+
+    uint64_t model = 0, seed = 0, instructions = 0, records = 0;
+    uint64_t checksum = 0, sidecar = 0;
+    std::string workload;
+    bool have_checksum = false;
+    std::string line;
+    while (std::getline(side, line)) {
+        std::istringstream ls(line);
+        std::string field;
+        if (!(ls >> field))
+            continue;
+        if (field == "ibs-trace-cache")
+            ls >> sidecar;
+        else if (field == "model_version")
+            ls >> model;
+        else if (field == "workload")
+            ls >> workload;
+        else if (field == "seed")
+            ls >> seed;
+        else if (field == "instructions")
+            ls >> instructions;
+        else if (field == "records")
+            ls >> records;
+        else if (field == "checksum")
+            have_checksum = bool(ls >> std::hex >> checksum);
+    }
+    if (sidecar != SIDECAR_VERSION || !have_checksum ||
+        model != key.modelVersion || workload != sanitize(key.workload) ||
+        seed != key.seed || instructions != key.instructions)
+        return false;
+
+    try {
+        TraceFileReader reader(path);
+        std::vector<uint64_t> loaded;
+        loaded.reserve(reader.totalRecords());
+        TraceRecord rec;
+        while (reader.next(rec)) {
+            if (rec.isInstr())
+                loaded.push_back(rec.vaddr);
+        }
+        if (loaded.size() != records ||
+            traceChecksum(loaded) != checksum)
+            return false;
+        addrs = std::move(loaded);
+        return true;
+    } catch (const std::exception &) {
+        // Truncated, corrupted, or wrong-format file: regenerate.
+        return false;
+    }
+}
+
+bool
+storeCachedTrace(const std::string &dir, const TraceCacheKey &key,
+                 const std::vector<uint64_t> &addrs)
+{
+    const std::string path = traceCachePath(dir, key);
+    // Unique-per-process temp names + rename give atomic publication:
+    // concurrent bench binaries warming one directory each write
+    // identical bytes, and whichever rename lands last wins.
+    const std::string suffix = ".tmp" + std::to_string(::getpid());
+    const std::string tmp_trace = path + suffix;
+    const std::string tmp_key = path + ".key" + suffix;
+    try {
+        std::filesystem::create_directories(dir);
+
+        TraceFileWriter writer(tmp_trace);
+        for (uint64_t a : addrs)
+            writer.write({a, 1, RefKind::InstrFetch});
+        writer.close();
+
+        std::ofstream side(tmp_key, std::ios::trunc);
+        side << "ibs-trace-cache " << SIDECAR_VERSION << "\n"
+             << "model_version " << key.modelVersion << "\n"
+             << "workload " << sanitize(key.workload) << "\n"
+             << "seed " << key.seed << "\n"
+             << "instructions " << key.instructions << "\n"
+             << "records " << addrs.size() << "\n"
+             << "checksum " << std::hex << traceChecksum(addrs)
+             << "\n";
+        side.close();
+        if (!side)
+            throw std::runtime_error("sidecar write failed");
+
+        // Trace before sidecar: a sidecar is only ever visible with
+        // its trace in place, and a half-published pair just misses.
+        std::filesystem::rename(tmp_trace, path);
+        std::filesystem::rename(tmp_key, path + ".key");
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "ibs: trace cache store failed for %s: %s\n",
+                     path.c_str(), e.what());
+        std::error_code ec;
+        std::filesystem::remove(tmp_trace, ec);
+        std::filesystem::remove(tmp_key, ec);
+        return false;
+    }
+}
+
+} // namespace ibs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared on-disk trace cache.
+ *
+ * Every figure/table bench materializes the same workload traces
+ * before replaying them through its config grid; across the 24 bench
+ * binaries that regeneration is repeated serially and dominates
+ * warm-up time. This module persists each materialized instruction
+ * trace once, in the existing IBST file format (trace/file.h), under
+ * a directory named by the IBS_TRACE_CACHE_DIR environment variable;
+ * later runs load the file instead of re-running the workload's
+ * random walk.
+ *
+ * Cache key: (workload name, seed, instruction count, model
+ * version). The model version must be bumped whenever the workload
+ * generator changes behaviour, which invalidates every cached trace
+ * at once. Each trace file carries a sidecar "<file>.key" recording
+ * the key fields, the record count, and an FNV-1a checksum of the
+ * decoded addresses; a load validates all of them and *silently*
+ * falls back to regeneration on any mismatch, truncation, version
+ * skew or corruption — a bad cache can cost time, never correctness.
+ *
+ * Stores are atomic (write to a temp name, then rename), so
+ * concurrent bench binaries warming the same directory race
+ * harmlessly: the last rename wins with identical bytes.
+ */
+
+#ifndef IBS_TRACE_TRACE_CACHE_H
+#define IBS_TRACE_TRACE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ibs {
+
+/**
+ * Version of the workload *model*, not the file format. Bump on any
+ * change that alters generated reference streams (walker behaviour,
+ * scheduling, layout, RNG usage) so stale traces are never replayed.
+ */
+constexpr uint32_t kTraceModelVersion = 1;
+
+/** Identity of one materialized trace. */
+struct TraceCacheKey
+{
+    std::string workload;      ///< WorkloadSpec::name.
+    uint64_t seed = 0;         ///< Effective generation seed.
+    uint64_t instructions = 0; ///< Requested trace length.
+    uint32_t modelVersion = kTraceModelVersion;
+};
+
+/**
+ * Cache directory from $IBS_TRACE_CACHE_DIR, or "" when unset/empty
+ * (caching disabled).
+ */
+std::string traceCacheDir();
+
+/** Trace file path for `key` under `dir` (sidecar is path + ".key"). */
+std::string traceCachePath(const std::string &dir,
+                           const TraceCacheKey &key);
+
+/** FNV-1a 64-bit checksum over the address sequence. */
+uint64_t traceChecksum(const std::vector<uint64_t> &addrs);
+
+/**
+ * Load the cached trace for `key` from `dir` into `addrs`.
+ *
+ * @return true when a fully validated trace was loaded; false on any
+ *         miss, key mismatch, truncation or checksum failure (the
+ *         caller regenerates — no exception escapes)
+ */
+bool loadCachedTrace(const std::string &dir, const TraceCacheKey &key,
+                     std::vector<uint64_t> &addrs);
+
+/**
+ * Persist `addrs` for `key` under `dir` (created if missing).
+ * Best-effort: returns false after a stderr warning on I/O failure,
+ * never throws.
+ */
+bool storeCachedTrace(const std::string &dir, const TraceCacheKey &key,
+                      const std::vector<uint64_t> &addrs);
+
+} // namespace ibs
+
+#endif // IBS_TRACE_TRACE_CACHE_H

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <tuple>
 #include <vector>
@@ -141,12 +142,14 @@ TEST(Cache, RandomVictimMatchesUnbiasedReferenceDraw)
     // 3-way fully-associative cache: the victim draw cannot be a
     // plain `lfsr % 3`, which biases toward low ways within any
     // window of the LFSR sequence. The contract is a masked draw
-    // with rejection: step the 16-bit Galois LFSR (seed 0xace1),
-    // mask to the next power of two >= assoc, redraw until in range.
+    // with rejection: step the 16-bit Galois LFSR (seeded from the
+    // geometry via Cache::lfsrSeed, so distinct caches draw
+    // decorrelated sequences), mask to the next power of two >=
+    // assoc, redraw until the value lands in range.
     const CacheConfig config{96, 3, 32, Replacement::Random};
     Cache c(config);
 
-    uint64_t lfsr = 0xace1;
+    uint64_t lfsr = Cache::lfsrSeed(config);
     auto draw = [&]() {
         for (;;) {
             const uint64_t bit = ((lfsr >> 0) ^ (lfsr >> 2) ^
@@ -337,6 +340,262 @@ TEST_P(CacheAssocSweep, AssociativityReducesConflicts)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CacheAssocSweep,
                          ::testing::Values(2048u, 8192u, 32768u));
+
+/**
+ * Reference model for the differential test below: the
+ * array-of-structs cache this codebase used before the
+ * structure-of-arrays refactor, kept deliberately naive (one struct
+ * per line, linear way scan, no precomputed geometry). Replacement
+ * semantics — way-order preference for invalid slots, first-oldest
+ * stamp for LRU/FIFO ties, the 16-bit Galois LFSR with masked
+ * rejection seeded by Cache::lfsrSeed — mirror the production cache
+ * exactly; only the storage layout differs.
+ */
+class ReferenceAosCache
+{
+  public:
+    explicit ReferenceAosCache(const CacheConfig &config)
+        : config_(config), lfsr_(Cache::lfsrSeed(config))
+    {
+        config_.validate();
+        lines_.resize(config_.numSets() * config_.assoc);
+    }
+
+    bool access(uint64_t addr) { return accessEx(addr).hit; }
+
+    Cache::AccessOutcome accessEx(uint64_t addr)
+    {
+        ++accesses_;
+        Cache::AccessOutcome outcome;
+        Line *line = find(addr);
+        if (line) {
+            ++hits_;
+            if (config_.replacement == Replacement::LRU)
+                line->stamp = ++clock_;
+            outcome.hit = true;
+            return outcome;
+        }
+        Line &victim = pickVictim(addr);
+        if (victim.valid) {
+            outcome.evicted = true;
+            outcome.victimAddr = victim.tag
+                                 << config_.lineShift();
+        }
+        fill(victim, addr);
+        return outcome;
+    }
+
+    bool contains(uint64_t addr) const
+    {
+        return const_cast<ReferenceAosCache *>(this)->find(addr) !=
+               nullptr;
+    }
+
+    void insert(uint64_t addr)
+    {
+        Line *line = find(addr);
+        if (line) {
+            if (config_.replacement == Replacement::LRU)
+                line->stamp = ++clock_;
+            return;
+        }
+        fill(pickVictim(addr), addr);
+    }
+
+    void invalidate(uint64_t addr)
+    {
+        if (Line *line = find(addr))
+            line->valid = false;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t hits() const { return hits_; }
+
+    std::vector<uint64_t> validLineAddrs() const
+    {
+        std::vector<uint64_t> out;
+        for (const Line &line : lines_) {
+            if (line.valid)
+                out.push_back(line.tag << config_.lineShift());
+        }
+        return out;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t stamp = 0;
+    };
+
+    Line *find(uint64_t addr)
+    {
+        const uint64_t tag = addr >> config_.lineShift();
+        const size_t base = (tag & (config_.numSets() - 1)) *
+                            config_.assoc;
+        for (uint32_t w = 0; w < config_.assoc; ++w) {
+            Line &line = lines_[base + w];
+            if (line.valid && line.tag == tag)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    Line &pickVictim(uint64_t addr)
+    {
+        const uint64_t tag = addr >> config_.lineShift();
+        const size_t base = (tag & (config_.numSets() - 1)) *
+                            config_.assoc;
+        for (uint32_t w = 0; w < config_.assoc; ++w) {
+            if (!lines_[base + w].valid)
+                return lines_[base + w];
+        }
+        if (config_.replacement == Replacement::Random) {
+            uint64_t mask = 1;
+            while (mask < config_.assoc)
+                mask <<= 1;
+            --mask;
+            for (;;) {
+                const uint64_t bit =
+                    ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^ (lfsr_ >> 3) ^
+                     (lfsr_ >> 5)) & 1u;
+                lfsr_ = (lfsr_ >> 1) | (bit << 15);
+                const uint64_t draw = lfsr_ & mask;
+                if (draw < config_.assoc)
+                    return lines_[base + draw];
+            }
+        }
+        uint32_t victim = 0;
+        for (uint32_t w = 1; w < config_.assoc; ++w) {
+            if (lines_[base + w].stamp < lines_[base + victim].stamp)
+                victim = w;
+        }
+        return lines_[base + victim];
+    }
+
+    void fill(Line &line, uint64_t addr)
+    {
+        line.valid = true;
+        line.tag = addr >> config_.lineShift();
+        line.stamp = ++clock_;
+    }
+
+    CacheConfig config_;
+    std::vector<Line> lines_;
+    uint64_t clock_ = 0;
+    uint64_t lfsr_;
+    uint64_t accesses_ = 0;
+    uint64_t hits_ = 0;
+};
+
+/**
+ * Differential test: the SoA cache and the AoS reference must agree
+ * access-by-access — hit/miss, eviction reporting, victim addresses,
+ * counters and final contents — over randomized streams mixing every
+ * public mutation, for every replacement policy and a range of
+ * geometries (direct-mapped, power-of-two and non-power-of-two ways,
+ * fully associative).
+ */
+class CacheSoaDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<Replacement, std::tuple<uint64_t, uint32_t,
+                                             uint32_t>>>
+{
+};
+
+TEST_P(CacheSoaDifferential, MatchesAosReferenceExactly)
+{
+    const Replacement repl = std::get<0>(GetParam());
+    const auto [size, assoc, line] = std::get<1>(GetParam());
+    const CacheConfig config = cfg(size, assoc, line, repl);
+
+    Cache soa(config);
+    ReferenceAosCache aos(config);
+
+    // Footprint ~4x the cache so capacity and conflict evictions both
+    // occur; word-aligned addresses as the fetch path produces.
+    const uint64_t span = size * 4;
+    Rng rng(0xd1ff + size + assoc * 131 + line);
+    uint64_t pc = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.nextBool(0.2))
+            pc = rng.nextBounded(span) & ~uint64_t{3};
+        const uint64_t addr = pc;
+        pc += 4;
+
+        const double op = rng.nextDouble();
+        if (op < 0.70) {
+            EXPECT_EQ(soa.access(addr), aos.access(addr))
+                << "access #" << i << " addr " << addr;
+        } else if (op < 0.85) {
+            const Cache::AccessOutcome got = soa.accessEx(addr);
+            const Cache::AccessOutcome want = aos.accessEx(addr);
+            EXPECT_EQ(got.hit, want.hit) << "accessEx #" << i;
+            EXPECT_EQ(got.evicted, want.evicted) << "accessEx #" << i;
+            EXPECT_EQ(got.victimAddr, want.victimAddr)
+                << "accessEx #" << i;
+        } else if (op < 0.92) {
+            EXPECT_EQ(soa.contains(addr), aos.contains(addr))
+                << "contains #" << i;
+        } else if (op < 0.97) {
+            soa.insert(addr);
+            aos.insert(addr);
+        } else {
+            soa.invalidate(addr);
+            aos.invalidate(addr);
+        }
+    }
+
+    EXPECT_EQ(soa.accesses(), aos.accesses());
+    EXPECT_EQ(soa.hits(), aos.hits());
+
+    std::vector<uint64_t> soa_lines = soa.validLineAddrs();
+    std::vector<uint64_t> aos_lines = aos.validLineAddrs();
+    std::sort(soa_lines.begin(), soa_lines.end());
+    std::sort(aos_lines.begin(), aos_lines.end());
+    EXPECT_EQ(soa_lines, aos_lines);
+    EXPECT_EQ(soa.validLines(), aos_lines.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndGeometries, CacheSoaDifferential,
+    ::testing::Combine(
+        ::testing::Values(Replacement::LRU, Replacement::FIFO,
+                          Replacement::Random),
+        ::testing::Values(std::make_tuple(uint64_t{4096}, 1u, 32u),
+                          std::make_tuple(uint64_t{4096}, 2u, 32u),
+                          std::make_tuple(uint64_t{8192}, 4u, 64u),
+                          std::make_tuple(uint64_t{6144}, 3u, 32u),
+                          std::make_tuple(uint64_t{2048}, 8u, 16u),
+                          // Fully associative: one set, 64 ways.
+                          std::make_tuple(uint64_t{2048}, 64u,
+                                          32u))));
+
+TEST(Cache, LfsrSeedIsDeterministicSixteenBitAndNonZero)
+{
+    const CacheConfig config = cfg(8192, 4, 32, Replacement::Random);
+    const uint64_t seed = Cache::lfsrSeed(config);
+    EXPECT_EQ(seed, Cache::lfsrSeed(config));
+    EXPECT_NE(seed, 0u);
+    EXPECT_LE(seed, 0xffffu);
+}
+
+TEST(Cache, LfsrSeedDecorrelatesDistinctGeometries)
+{
+    // The point of geometry mixing: caches that coexist in one
+    // simulation (an 8KB L1 and a 128KB L2, say) must not start
+    // their victim LFSRs in lockstep. Not all pairs can differ (the
+    // fold is 16-bit), but these common pairings must.
+    const uint64_t l1 = Cache::lfsrSeed(
+        cfg(8192, 2, 32, Replacement::Random));
+    const uint64_t l2 = Cache::lfsrSeed(
+        cfg(131072, 2, 64, Replacement::Random));
+    const uint64_t l2b = Cache::lfsrSeed(
+        cfg(131072, 4, 64, Replacement::Random));
+    EXPECT_NE(l1, l2);
+    EXPECT_NE(l2, l2b);
+}
 
 } // namespace
 } // namespace ibs

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the shared on-disk trace cache (trace/trace_cache.h) and
+ * its integration into SuiteTraces materialization.
+ *
+ * The cache trades disk for workload-walk time, so the property that
+ * matters is: a warm load is *bit-identical* to regeneration, and any
+ * damaged, truncated, renamed or stale entry silently falls back to
+ * regeneration instead of corrupting results.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "trace/trace_cache.h"
+#include "workload/ibs.h"
+#include "workload/model.h"
+
+namespace ibs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = ::testing::TempDir() + "/ibs_trace_cache_test_" +
+               std::to_string(::testing::UnitTest::GetInstance()
+                                  ->random_seed()) +
+               "_" + ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+std::vector<uint64_t>
+sampleAddrs(size_t n, uint64_t seed = 0x1234)
+{
+    // Cheap xorshift stream; contents are arbitrary, identity is what
+    // the cache must preserve.
+    std::vector<uint64_t> addrs;
+    addrs.reserve(n);
+    uint64_t x = seed | 1;
+    for (size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        addrs.push_back((x << 2) >> 2 << 2); // word-aligned vaddr
+    }
+    return addrs;
+}
+
+TEST_F(TraceCacheTest, PathEncodesKeyAndSanitizesWorkloadName)
+{
+    const TraceCacheKey key{"gcc/bloat run", 0x1b5, 5000, 3};
+    const std::string path = traceCachePath(dir_, key);
+    EXPECT_NE(path.find("gcc_bloat_run-s437-n5000-v3.ibst"),
+              std::string::npos)
+        << path;
+    // Distinct key fields must map to distinct files.
+    TraceCacheKey other = key;
+    other.seed = 0x1b6;
+    EXPECT_NE(traceCachePath(dir_, other), path);
+    other = key;
+    other.instructions = 5001;
+    EXPECT_NE(traceCachePath(dir_, other), path);
+    other = key;
+    other.modelVersion = 4;
+    EXPECT_NE(traceCachePath(dir_, other), path);
+}
+
+TEST_F(TraceCacheTest, StoreThenLoadRoundTripsBitIdentical)
+{
+    const TraceCacheKey key{"roundtrip", 7, 4096, kTraceModelVersion};
+    const std::vector<uint64_t> addrs = sampleAddrs(4096);
+    ASSERT_TRUE(storeCachedTrace(dir_, key, addrs));
+
+    std::vector<uint64_t> loaded;
+    ASSERT_TRUE(loadCachedTrace(dir_, key, loaded));
+    EXPECT_EQ(loaded, addrs);
+
+    // No stray temp files left behind after a clean publish.
+    for (const auto &ent : fs::directory_iterator(dir_)) {
+        EXPECT_EQ(ent.path().string().find(".tmp"), std::string::npos)
+            << ent.path();
+    }
+}
+
+TEST_F(TraceCacheTest, ChecksumIsOrderAndContentSensitive)
+{
+    std::vector<uint64_t> a = sampleAddrs(128);
+    std::vector<uint64_t> b = a;
+    std::swap(b[3], b[90]);
+    std::vector<uint64_t> c = a;
+    c[64] ^= 4;
+    EXPECT_NE(traceChecksum(a), traceChecksum(b));
+    EXPECT_NE(traceChecksum(a), traceChecksum(c));
+    EXPECT_EQ(traceChecksum(a), traceChecksum(sampleAddrs(128)));
+}
+
+TEST_F(TraceCacheTest, LoadMissesWhenEntryAbsent)
+{
+    const TraceCacheKey key{"absent", 1, 100, kTraceModelVersion};
+    std::vector<uint64_t> loaded;
+    EXPECT_FALSE(loadCachedTrace(dir_, key, loaded));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(TraceCacheTest, LoadRejectsTruncatedTraceFile)
+{
+    const TraceCacheKey key{"trunc", 2, 2048, kTraceModelVersion};
+    ASSERT_TRUE(storeCachedTrace(dir_, key, sampleAddrs(2048)));
+    const std::string path = traceCachePath(dir_, key);
+    const auto size = fs::file_size(path);
+    fs::resize_file(path, size / 2);
+
+    std::vector<uint64_t> loaded;
+    EXPECT_FALSE(loadCachedTrace(dir_, key, loaded));
+}
+
+TEST_F(TraceCacheTest, LoadRejectsCorruptedPayload)
+{
+    const TraceCacheKey key{"corrupt", 3, 2048, kTraceModelVersion};
+    ASSERT_TRUE(storeCachedTrace(dir_, key, sampleAddrs(2048)));
+    const std::string path = traceCachePath(dir_, key);
+
+    // Flip one byte in the middle of the payload. The decode may
+    // still "succeed" (delta streams re-synchronize), so the checksum
+    // is what must catch this.
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f);
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size) / 2);
+    f.read(&byte, 1);
+    byte ^= 0x55;
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    f.write(&byte, 1);
+    f.close();
+
+    std::vector<uint64_t> loaded;
+    EXPECT_FALSE(loadCachedTrace(dir_, key, loaded));
+}
+
+TEST_F(TraceCacheTest, LoadRejectsMissingSidecar)
+{
+    const TraceCacheKey key{"nokey", 4, 512, kTraceModelVersion};
+    ASSERT_TRUE(storeCachedTrace(dir_, key, sampleAddrs(512)));
+    fs::remove(traceCachePath(dir_, key) + ".key");
+
+    std::vector<uint64_t> loaded;
+    EXPECT_FALSE(loadCachedTrace(dir_, key, loaded));
+}
+
+TEST_F(TraceCacheTest, LoadRejectsRenamedEntryViaSidecarKeyCheck)
+{
+    // A hand-renamed (or mis-keyed) entry matches its new file name
+    // but not the key recorded inside the sidecar; the load must
+    // reject it even though the trace bytes themselves are intact.
+    const TraceCacheKey key{"renamed", 5, 1024, kTraceModelVersion};
+    ASSERT_TRUE(storeCachedTrace(dir_, key, sampleAddrs(1024)));
+
+    TraceCacheKey stale = key;
+    stale.modelVersion = key.modelVersion + 1;
+    fs::copy_file(traceCachePath(dir_, key),
+                  traceCachePath(dir_, stale));
+    fs::copy_file(traceCachePath(dir_, key) + ".key",
+                  traceCachePath(dir_, stale) + ".key");
+    std::vector<uint64_t> loaded;
+    EXPECT_FALSE(loadCachedTrace(dir_, stale, loaded))
+        << "stale model version accepted";
+
+    TraceCacheKey reseeded = key;
+    reseeded.seed = key.seed + 1;
+    fs::copy_file(traceCachePath(dir_, key),
+                  traceCachePath(dir_, reseeded));
+    fs::copy_file(traceCachePath(dir_, key) + ".key",
+                  traceCachePath(dir_, reseeded) + ".key");
+    EXPECT_FALSE(loadCachedTrace(dir_, reseeded, loaded))
+        << "wrong seed accepted";
+}
+
+TEST_F(TraceCacheTest, LoadRejectsRecordCountMismatch)
+{
+    const TraceCacheKey key{"records", 6, 256, kTraceModelVersion};
+    ASSERT_TRUE(storeCachedTrace(dir_, key, sampleAddrs(256)));
+
+    // Rewrite the sidecar claiming one fewer record.
+    const std::string side_path = traceCachePath(dir_, key) + ".key";
+    std::ifstream in(side_path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const auto pos = text.find("records 256");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 11, "records 255");
+    std::ofstream(side_path, std::ios::trunc) << text;
+
+    std::vector<uint64_t> loaded;
+    EXPECT_FALSE(loadCachedTrace(dir_, key, loaded));
+}
+
+// --- SuiteTraces integration ------------------------------------
+
+std::vector<WorkloadSpec>
+tinySuite()
+{
+    std::vector<WorkloadSpec> suite = ibsSuite(OsType::Ultrix);
+    suite.resize(2);
+    return suite;
+}
+
+TEST_F(TraceCacheTest, SuiteTracesWarmRunIsBitIdenticalToCold)
+{
+    const uint64_t n = 3000;
+    const std::vector<WorkloadSpec> suite = tinySuite();
+
+    SuiteTraces cold(suite, n, dir_, 1, /*log_cache_hits=*/false);
+    EXPECT_EQ(cold.cacheHits(), 0u);
+    for (size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_FALSE(cold.fromCache(i));
+        EXPECT_EQ(cold.length(i), n);
+    }
+    EXPECT_EQ(cold.instructionsRequested(), n);
+
+    // Every workload now has a published trace + sidecar on disk.
+    for (const WorkloadSpec &spec : suite) {
+        const TraceCacheKey key{spec.name, spec.seed, n,
+                                kTraceModelVersion};
+        EXPECT_TRUE(fs::exists(traceCachePath(dir_, key)));
+        EXPECT_TRUE(fs::exists(traceCachePath(dir_, key) + ".key"));
+    }
+
+    SuiteTraces warm(suite, n, dir_, 1, /*log_cache_hits=*/false);
+    EXPECT_EQ(warm.cacheHits(), suite.size());
+    for (size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_TRUE(warm.fromCache(i));
+        EXPECT_EQ(warm.addresses(i), cold.addresses(i))
+            << "cached trace differs from regenerated trace for "
+            << warm.name(i);
+    }
+}
+
+TEST_F(TraceCacheTest, SuiteTracesParallelMatchesSerial)
+{
+    const uint64_t n = 3000;
+    const std::vector<WorkloadSpec> suite = tinySuite();
+    SuiteTraces serial(suite, n, "", 1, false);
+    SuiteTraces parallel(suite, n, "", 4, false);
+    ASSERT_EQ(serial.count(), parallel.count());
+    for (size_t i = 0; i < serial.count(); ++i)
+        EXPECT_EQ(serial.addresses(i), parallel.addresses(i))
+            << serial.name(i);
+}
+
+TEST_F(TraceCacheTest, SuiteTracesRegeneratesOverCorruptEntry)
+{
+    const uint64_t n = 3000;
+    const std::vector<WorkloadSpec> suite = tinySuite();
+    SuiteTraces cold(suite, n, dir_, 1, false);
+
+    // Corrupt workload 0's cached trace; leave workload 1 intact.
+    const TraceCacheKey key0{suite[0].name, suite[0].seed, n,
+                             kTraceModelVersion};
+    std::ofstream(traceCachePath(dir_, key0), std::ios::trunc)
+        << "garbage";
+
+    SuiteTraces repaired(suite, n, dir_, 1, false);
+    EXPECT_FALSE(repaired.fromCache(0));
+    EXPECT_TRUE(repaired.fromCache(1));
+    EXPECT_EQ(repaired.cacheHits(), 1u);
+    // Fallback regenerated the same trace...
+    EXPECT_EQ(repaired.addresses(0), cold.addresses(0));
+    // ...and re-published it, so a third run hits everywhere.
+    SuiteTraces third(suite, n, dir_, 1, false);
+    EXPECT_EQ(third.cacheHits(), suite.size());
+}
+
+TEST_F(TraceCacheTest, SuiteTracesExposesAndWarnsOnShortTrace)
+{
+    // The synthetic workload models never drain, so fabricate the
+    // observable condition through the cache: a validly-published
+    // entry whose recorded trace is shorter than the request (exactly
+    // what a drained model would have persisted).
+    const uint64_t n = 2000;
+    const std::vector<WorkloadSpec> suite = tinySuite();
+    const TraceCacheKey key0{suite[0].name, suite[0].seed, n,
+                             kTraceModelVersion};
+    const std::vector<uint64_t> short_trace = sampleAddrs(500);
+    ASSERT_TRUE(storeCachedTrace(dir_, key0, short_trace));
+
+    ::testing::internal::CaptureStderr();
+    SuiteTraces traces(suite, n, dir_, 1, false);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+
+    EXPECT_TRUE(traces.fromCache(0));
+    EXPECT_EQ(traces.length(0), short_trace.size());
+    EXPECT_EQ(traces.addresses(0), short_trace);
+    EXPECT_EQ(traces.instructionsRequested(), n);
+    EXPECT_EQ(traces.length(1), n);
+    EXPECT_NE(err.find("its trace is short"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find(suite[0].name), std::string::npos) << err;
+}
+
+TEST_F(TraceCacheTest, TraceCacheDirReflectsEnvironment)
+{
+    ::unsetenv("IBS_TRACE_CACHE_DIR");
+    EXPECT_EQ(traceCacheDir(), "");
+    ::setenv("IBS_TRACE_CACHE_DIR", dir_.c_str(), 1);
+    EXPECT_EQ(traceCacheDir(), dir_);
+    ::setenv("IBS_TRACE_CACHE_DIR", "", 1);
+    EXPECT_EQ(traceCacheDir(), "");
+    ::unsetenv("IBS_TRACE_CACHE_DIR");
+}
+
+} // namespace
+} // namespace ibs
