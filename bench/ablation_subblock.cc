@@ -18,6 +18,7 @@
 
 #include "cache/subblock.h"
 #include "core/fetch_config.h"
+#include "obs/registry.h"
 #include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
@@ -41,6 +42,8 @@ subBlockCpi(const std::vector<uint64_t> &addrs)
         if (!r.hit)
             stall += fill.fillCycles(uint64_t{r.filled} * 16);
     }
+    if (obs::Registry::global().enabled())
+        cache.publishCounters(obs::Registry::global(), "l1");
     return static_cast<double>(stall) /
         static_cast<double>(addrs.size());
 }

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "obs/registry.h"
 #include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
@@ -66,6 +67,8 @@ tlbMpi(std::vector<WorkloadSpec> suite, const TlbConfig &config,
                                    : 0.0));
         g_report.addCell(spec.name, tlbConfigJson(config), stats,
                          cell_timer.seconds(), done, grid);
+        if (obs::Registry::global().enabled())
+            tlb.publishCounters(obs::Registry::global(), grid);
         misses += workload_misses;
         instrs += done;
     }

@@ -19,6 +19,7 @@
 
 #include "cache/cache.h"
 #include "cache/victim.h"
+#include "obs/registry.h"
 #include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "stats/table.h"
@@ -98,6 +99,9 @@ main()
             report.addCell(suite.name(i), config, stats,
                            cell_timer.seconds(), w_instrs, "victim",
                            "victim" + std::to_string(v));
+            if (obs::Registry::global().enabled())
+                cache.publishCounters(obs::Registry::global(),
+                                      std::to_string(v));
             misses += w_misses;
             swaps += w_swaps;
             instrs += w_instrs;

@@ -35,6 +35,9 @@
 #include "cache/subblock.h"
 #include "cache/victim.h"
 #include "core/fetch_engine.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
+#include "obs/trace_sink.h"
 #include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "trace/file.h"
@@ -229,6 +232,71 @@ BM_FetchEngineStreamBuffer(benchmark::State &state)
     runEngine(state, c);
 }
 BENCHMARK(BM_FetchEngineStreamBuffer);
+
+/**
+ * Cost of the observability layer around a full-trace engine run:
+ *
+ *   mode 0  plain loop, no obs constructs at all (the pre-obs shape)
+ *   mode 1  ScopedTimer + publication gate, registry disabled
+ *   mode 2  registry enabled, counters published per run
+ *   mode 3  registry enabled + an active TraceEventSink
+ *
+ * One iteration = one fresh FetchEngine over the whole shared trace,
+ * matching how sweep cells run. perf_smoke asserts mode 1 regresses
+ * mode 0 by at most 10% (the disabled layer is supposed to be free);
+ * modes 2 and 3 document the enabled cost. MinTime overrides the
+ * CLI's tiny perf_smoke window so the ratio is measured, not noise.
+ */
+void
+BM_ObsOverhead(benchmark::State &state)
+{
+    const int mode = static_cast<int>(state.range(0));
+    obs::Registry &reg = obs::Registry::global();
+    const bool was_enabled = reg.enabled();
+    reg.setEnabled(mode >= 2);
+    std::unique_ptr<obs::TraceEventSink> prev;
+    if (mode == 3) {
+        prev = obs::TraceEventSink::exchangeGlobal(
+            std::make_unique<obs::TraceEventSink>("/dev/null"));
+    }
+
+    const FetchConfig config = economyBaseline();
+    const auto &addrs = trace();
+    for (auto _ : state) {
+        FetchEngine engine(config);
+        if (mode == 0) {
+            for (uint64_t a : addrs)
+                engine.fetch(a);
+        } else {
+            obs::ScopedTimer timer("obs_overhead", "microbench");
+            for (uint64_t a : addrs)
+                engine.fetch(a);
+            timer.stop();
+            if (reg.enabled())
+                engine.publishCounters(reg);
+        }
+        benchmark::DoNotOptimize(engine.stats().l1Misses);
+    }
+
+    const auto fetches = static_cast<uint64_t>(state.iterations()) *
+        addrs.size();
+    state.SetItemsProcessed(static_cast<int64_t>(fetches));
+    state.counters["fetches_per_second"] = benchmark::Counter(
+        static_cast<double>(fetches), benchmark::Counter::kIsRate);
+
+    if (mode == 3)
+        obs::TraceEventSink::exchangeGlobal(std::move(prev));
+    if (mode >= 2)
+        reg.reset();
+    reg.setEnabled(was_enabled);
+}
+BENCHMARK(BM_ObsOverhead)
+    ->ArgNames({"mode"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->MinTime(0.25);
 
 /** Instructions materialized per workload in the cold/warm pair;
  *  scaled down from the replay-trace length so one iteration stays

@@ -43,4 +43,13 @@ if [ ! -f "$report" ]; then
 fi
 
 "$validator" "$report"
+
+# The microbench carries the obs-overhead comparison: the disabled
+# observability layer (mode:1) must stay within 10% of the plain loop
+# (mode:0). Prefix matching — MinTime suffixes the benchmark names.
+if [ "$bench_name" = "microbench" ]; then
+    "$validator" --compare-rate "$report" \
+        "BM_ObsOverhead/mode:1" "BM_ObsOverhead/mode:0" 0.90
+fi
+
 echo "PASS: ${bench_name} report parses and carries the required keys"

@@ -100,6 +100,8 @@ Cache::access(uint64_t addr)
                 stamps_[set] = ++clock_;
             return true;
         }
+        if (tags_[set] != kInvalidTag)
+            ++evictions_;
         tags_[set] = tag;
         setValid(set);
         stamps_[set] = ++clock_;
@@ -115,6 +117,8 @@ Cache::access(uint64_t addr)
         }
     }
     const size_t slot = base + victimWay(set);
+    if (tags_[slot] != kInvalidTag)
+        ++evictions_;
     tags_[slot] = tag;
     setValid(slot);
     stamps_[slot] = ++clock_;
@@ -142,6 +146,7 @@ Cache::accessEx(uint64_t addr)
     if (tags_[slot] != kInvalidTag) {
         outcome.evicted = true;
         outcome.victimAddr = tags_[slot] << lineShift_;
+        ++evictions_;
     }
     tags_[slot] = tag;
     setValid(slot);
@@ -175,6 +180,8 @@ Cache::insert(uint64_t addr)
         }
     }
     const size_t slot = base + victimWay(set);
+    if (tags_[slot] != kInvalidTag)
+        ++evictions_;
     tags_[slot] = tag;
     setValid(slot);
     stamps_[slot] = ++clock_;
@@ -206,6 +213,18 @@ Cache::resetStats()
 {
     accesses_ = 0;
     hits_ = 0;
+    evictions_ = 0;
+}
+
+void
+Cache::publishCounters(obs::Registry &registry,
+                       const std::string &instance) const
+{
+    const std::string prefix = "cache." + instance + ".";
+    registry.add(prefix + "accesses", accesses_);
+    registry.add(prefix + "hits", hits_);
+    registry.add(prefix + "misses", misses());
+    registry.add(prefix + "evictions", evictions_);
 }
 
 uint64_t

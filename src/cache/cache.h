@@ -20,9 +20,11 @@
 #define IBS_CACHE_CACHE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/config.h"
+#include "obs/registry.h"
 #include "stats/summary.h"
 
 namespace ibs {
@@ -74,6 +76,9 @@ class Cache
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return accesses_ - hits_; }
 
+    /** Valid lines replaced by allocations (demand or insert()). */
+    uint64_t evictions() const { return evictions_; }
+
     /** Miss ratio in misses per access. */
     double
     missRatio() const
@@ -106,6 +111,15 @@ class Cache
      * zero).
      */
     static uint64_t lfsrSeed(const CacheConfig &config);
+
+    /**
+     * Publish hit/miss/eviction counts to the observability registry
+     * under "cache.<instance>.<event>" (see obs/registry.h for the
+     * naming convention). Called by owners (FetchEngine, benches)
+     * after a run; the caller gates on Registry::enabled().
+     */
+    void publishCounters(obs::Registry &registry,
+                         const std::string &instance) const;
 
   private:
     /** Tag value stored in invalid slots. Real tags are
@@ -147,6 +161,7 @@ class Cache
     uint64_t lfsr_; ///< For Replacement::Random; see lfsrSeed().
     uint64_t accesses_ = 0;
     uint64_t hits_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace ibs

@@ -18,6 +18,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
+
+#include "obs/registry.h"
 
 namespace ibs {
 
@@ -78,9 +81,12 @@ class StreamBuffer
                 return;
             }
         }
-        if (entries_.size() >= capacity_)
+        if (entries_.size() >= capacity_) {
             entries_.pop_front();
+            ++evictions_;
+        }
         entries_.push_back(StreamEntry{line_addr, arrival_cycle});
+        ++inserts_;
     }
 
     /** Remove a line (after it moves to the I-cache). */
@@ -99,24 +105,53 @@ class StreamBuffer
      * Drop entries that have not yet arrived by `cycle` — the paper's
      * cancellation of outstanding prefetches when a new miss preempts
      * the sequence.
+     *
+     * @return number of entries cancelled
      */
-    void
+    size_t
     cancelInFlight(uint64_t cycle)
     {
+        size_t erased = 0;
         for (auto it = entries_.begin(); it != entries_.end();) {
-            if (it->arrivalCycle > cycle)
+            if (it->arrivalCycle > cycle) {
                 it = entries_.erase(it);
-            else
+                ++erased;
+            } else {
                 ++it;
+            }
         }
+        cancelled_ += erased;
+        return erased;
     }
 
     /** Drop everything. */
     void clear() { entries_.clear(); }
 
+    uint64_t inserts() const { return inserts_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t cancelled() const { return cancelled_; }
+
+    /**
+     * Publish buffer activity to the observability registry under
+     * "stream_buffer.<instance>.<event>". Caller gates on
+     * Registry::enabled().
+     */
+    void
+    publishCounters(obs::Registry &registry,
+                    const std::string &instance) const
+    {
+        const std::string prefix = "stream_buffer." + instance + ".";
+        registry.add(prefix + "inserts", inserts_);
+        registry.add(prefix + "evictions", evictions_);
+        registry.add(prefix + "cancelled", cancelled_);
+    }
+
   private:
     size_t capacity_;
     std::deque<StreamEntry> entries_;
+    uint64_t inserts_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t cancelled_ = 0;
 };
 
 } // namespace ibs

@@ -15,9 +15,11 @@
 #define IBS_CACHE_SUBBLOCK_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/config.h"
+#include "obs/registry.h"
 
 namespace ibs {
 
@@ -57,6 +59,22 @@ class SubBlockCache
     uint64_t subBlocksFilled() const { return filled_; }
 
     void invalidateAll();
+
+    /**
+     * Publish access/miss/fill counts to the observability registry
+     * under "subblock.<instance>.<event>". Caller gates on
+     * Registry::enabled().
+     */
+    void
+    publishCounters(obs::Registry &registry,
+                    const std::string &instance) const
+    {
+        const std::string prefix = "subblock." + instance + ".";
+        registry.add(prefix + "accesses", accesses_);
+        registry.add(prefix + "misses", misses_);
+        registry.add(prefix + "tag_misses", tagMisses_);
+        registry.add(prefix + "sub_blocks_filled", filled_);
+    }
 
   private:
     /** Tag stored in invalid slots (cannot collide with a real tag,

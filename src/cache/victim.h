@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "cache/config.h"
+#include "obs/registry.h"
 
 namespace ibs {
 
@@ -57,6 +59,22 @@ class VictimCache
     uint32_t victimLines() const { return victimLines_; }
 
     void invalidateAll();
+
+    /**
+     * Publish access/hit/miss counts to the observability registry
+     * under "victim.<instance>.<event>". Caller gates on
+     * Registry::enabled().
+     */
+    void
+    publishCounters(obs::Registry &registry,
+                    const std::string &instance) const
+    {
+        const std::string prefix = "victim." + instance + ".";
+        registry.add(prefix + "accesses", accesses_);
+        registry.add(prefix + "main_hits", mainHits_);
+        registry.add(prefix + "victim_hits", victimHits_);
+        registry.add(prefix + "misses", misses());
+    }
 
   private:
     /** Tag stored in invalid slots (cannot collide with a real tag,

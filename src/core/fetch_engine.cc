@@ -169,8 +169,10 @@ FetchEngine::missPipelined(uint64_t vaddr)
     // (the entry is dropped so the demand result supersedes it).
     const bool found = stream_.lookup(line, entry);
     if (found &&
-        entry.arrivalCycle > cycle_ + config_.l1Fill.latencyCycles)
+        entry.arrivalCycle > cycle_ + config_.l1Fill.latencyCycles) {
         stream_.remove(line);
+        ++prefetchCancels_;
+    }
     else if (found) {
         // Served by the stream buffer; wait if still in flight.
         ++stats_.streamBufferHits;
@@ -200,7 +202,7 @@ FetchEngine::missPipelined(uint64_t vaddr)
     // entries still in flight and the unissued requests occupying
     // port slots), issue the demand request, then restart the
     // prefetch sequence behind it.
-    stream_.cancelInFlight(cycle_);
+    prefetchCancels_ += stream_.cancelInFlight(cycle_);
     port_.cancelPending(cycle_);
 
     uint64_t issued;
@@ -281,8 +283,31 @@ FetchEngine::reset()
     port_.reset();
     cycle_ = 0;
     stats_ = FetchStats{};
+    prefetchCancels_ = 0;
     windowActive_ = false;
     prefetchValid_ = false;
+}
+
+void
+FetchEngine::publishCounters(obs::Registry &registry) const
+{
+    l1_.publishCounters(registry, "l1");
+    if (l2_)
+        l2_->publishCounters(registry, "l2");
+    stream_.publishCounters(registry, "fetch");
+
+    registry.add("fetch.engine.instructions", stats_.instructions);
+    registry.add("fetch.engine.cycles", cycle_);
+    registry.add("fetch.engine.l1_misses", stats_.l1Misses);
+    registry.add("fetch.engine.prefetches_issued",
+                 stats_.prefetchesIssued);
+    registry.add("fetch.engine.prefetches_used",
+                 stats_.prefetchesUsed);
+    registry.add("fetch.engine.prefetches_cancelled",
+                 prefetchCancels_);
+    registry.add("fetch.engine.bypass_window_hits", stats_.bypassHits);
+    registry.add("fetch.engine.stream_buffer_hits",
+                 stats_.streamBufferHits);
 }
 
 } // namespace ibs

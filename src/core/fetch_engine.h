@@ -74,6 +74,14 @@ class FetchEngine
 
     const FetchConfig &config() const { return config_; }
 
+    /**
+     * Publish engine and component counters to the observability
+     * registry: "fetch.engine.<event>" plus the L1/L2 caches
+     * ("cache.l1.*", "cache.l2.*") and the stream buffer
+     * ("stream_buffer.fetch.*"). Caller gates on Registry::enabled().
+     */
+    void publishCounters(obs::Registry &registry) const;
+
   private:
     /** Blocking and bypass miss handling. */
     void missBlocking(uint64_t vaddr);
@@ -105,6 +113,10 @@ class FetchEngine
 
     uint64_t cycle_ = 0;
     FetchStats stats_;
+    /** Prefetches dropped before use: in-flight cancellations on a
+     *  double miss plus queued entries superseded by a demand fetch.
+     *  Observability-only — not part of FetchStats or any table. */
+    uint64_t prefetchCancels_ = 0;
 
     // Bypass refill window state.
     bool windowActive_ = false;

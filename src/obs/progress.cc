@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SweepProgress implementation.
+ */
+
+#include "obs/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ibs::obs {
+
+namespace {
+
+/** Re-print interval: snappy on a TTY, sparse in a log file. */
+constexpr uint64_t TTY_INTERVAL_US = 200'000;
+constexpr uint64_t PLAIN_INTERVAL_US = 5'000'000;
+
+/** "12.3M", "850.0k", "312" — compact rate for one status line. */
+void
+formatRate(double per_second, char *buf, size_t n)
+{
+    if (per_second >= 1e6)
+        std::snprintf(buf, n, "%.1fM", per_second / 1e6);
+    else if (per_second >= 1e3)
+        std::snprintf(buf, n, "%.1fk", per_second / 1e3);
+    else
+        std::snprintf(buf, n, "%.0f", per_second);
+}
+
+} // namespace
+
+SweepProgress::SweepProgress(std::string label, size_t total_cells)
+    : label_(std::move(label)), total_(total_cells),
+      start_(std::chrono::steady_clock::now())
+{
+    if (total_ == 0)
+        return;
+    tty_ = ::isatty(STDERR_FILENO) != 0;
+    const char *env = std::getenv("IBS_PROGRESS");
+    if (!env || std::strcmp(env, "auto") == 0)
+        active_ = tty_;
+    else
+        active_ = std::strcmp(env, "0") != 0;
+}
+
+SweepProgress::~SweepProgress()
+{
+    if (!active_)
+        return;
+    std::lock_guard<std::mutex> lock(printMutex_);
+    if (lineOpen_) {
+        // A sweep aborted by an exception leaves the in-place line
+        // open; terminate it so the next stderr write starts clean.
+        std::fputc('\n', stderr);
+        lineOpen_ = false;
+    }
+}
+
+void
+SweepProgress::cellDone(uint64_t instructions)
+{
+    if (!active_)
+        return;
+    instructions_.fetch_add(instructions, std::memory_order_relaxed);
+    const size_t done =
+        done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool final_line = done >= total_;
+
+    const uint64_t now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (!final_line) {
+        // One worker wins the right to print this interval; the rest
+        // skip without blocking on the print mutex.
+        uint64_t next = nextReportUs_.load(std::memory_order_relaxed);
+        if (now < next)
+            return;
+        const uint64_t interval =
+            tty_ ? TTY_INTERVAL_US : PLAIN_INTERVAL_US;
+        if (!nextReportUs_.compare_exchange_strong(
+                next, now + interval, std::memory_order_relaxed))
+            return;
+    }
+    report(done, final_line);
+}
+
+void
+SweepProgress::report(size_t done, bool final_line)
+{
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               start_)
+                               .count();
+    const uint64_t instr =
+        instructions_.load(std::memory_order_relaxed);
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(instr) / elapsed : 0.0;
+    char rate_buf[32];
+    formatRate(rate, rate_buf, sizeof(rate_buf));
+
+    char line[160];
+    if (final_line) {
+        std::snprintf(line, sizeof(line),
+                      "%s: %zu/%zu cells (100.0%%) | %s instr/s | "
+                      "%.1fs",
+                      label_.c_str(), done, total_, rate_buf,
+                      elapsed);
+    } else {
+        const double pct = 100.0 * static_cast<double>(done) /
+            static_cast<double>(total_);
+        const double eta = done > 0
+            ? elapsed * static_cast<double>(total_ - done) /
+                static_cast<double>(done)
+            : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "%s: %zu/%zu cells (%.1f%%) | %s instr/s | "
+                      "ETA %.0fs",
+                      label_.c_str(), done, total_, pct, rate_buf,
+                      eta);
+    }
+
+    std::lock_guard<std::mutex> lock(printMutex_);
+    if (tty_) {
+        // \r + erase-to-end rewrites the line in place; the final
+        // update keeps it and adds the newline.
+        std::fprintf(stderr, "\r\033[K%s", line);
+        lineOpen_ = true;
+        if (final_line) {
+            std::fputc('\n', stderr);
+            lineOpen_ = false;
+        }
+        std::fflush(stderr);
+    } else {
+        std::fprintf(stderr, "%s\n", line);
+    }
+}
+
+} // namespace ibs::obs

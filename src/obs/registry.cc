@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Registry implementation.
+ */
+
+#include "obs/registry.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ibs::obs {
+
+namespace {
+
+bool
+envEnabled()
+{
+    if (const char *env = std::getenv("IBS_OBS");
+        env && (std::strcmp(env, "1") == 0 ||
+                std::strcmp(env, "true") == 0))
+        return true;
+    // A trace sink implies counters: its export samples the registry.
+    if (const char *env = std::getenv("IBS_OBS_TRACE");
+        env && *env != '\0')
+        return true;
+    return false;
+}
+
+} // namespace
+
+Registry::Registry()
+{
+    enabled_.store(envEnabled(), std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Registry::Shard &
+Registry::localShard()
+{
+    // One shard per thread, owned by the registry so it survives the
+    // (short-lived) sweep workers that created it; the thread_local
+    // caches the lookup. The registry is a process-lifetime
+    // singleton, so the cached pointer can never dangle.
+    thread_local Shard *cached = nullptr;
+    if (cached)
+        return *cached;
+    auto shard = std::make_unique<Shard>();
+    cached = shard.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::move(shard));
+    return *cached;
+}
+
+void
+Registry::add(const std::string &name, uint64_t delta)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters[name] += delta;
+}
+
+void
+Registry::gaugeMax(const std::string &name, uint64_t value)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    uint64_t &slot = shard.gauges[name];
+    if (value > slot)
+        slot = value;
+}
+
+std::map<std::string, uint64_t>
+Registry::snapshot() const
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, uint64_t> gauges;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, value] : shard->counters)
+            counters[name] += value;
+        for (const auto &[name, value] : shard->gauges) {
+            uint64_t &slot = gauges[name];
+            if (value > slot)
+                slot = value;
+        }
+    }
+    // Fold gauges in; a counter under the same name wins (documented).
+    for (const auto &[name, value] : gauges)
+        counters.emplace(name, value);
+    return counters;
+}
+
+Json
+Registry::snapshotJson() const
+{
+    Json obj = Json::object();
+    for (const auto &[name, value] : snapshot())
+        obj.set(name, Json::number(value));
+    return obj;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        shard->counters.clear();
+        shard->gauges.clear();
+    }
+}
+
+} // namespace ibs::obs

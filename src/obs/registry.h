@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hierarchical counter/gauge registry.
+ *
+ * Simulation components (Cache, VictimCache, SubBlockCache,
+ * StreamBuffer, FetchEngine, Tlb, the trace cache) publish their
+ * event counts here so long runs are observable without perturbing
+ * the experiment. Names follow `component.instance.event`
+ * (e.g. "cache.l1.misses", "trace_cache.load.hit").
+ *
+ * Concurrency model: each thread writes to its own shard; snapshot()
+ * merges every shard under the registry lock. Counters merge by
+ * addition and gauges by maximum — both commutative and associative —
+ * so for a fixed experiment the merged snapshot is bit-identical
+ * regardless of how many worker threads ran it or how the scheduler
+ * assigned the work (the same guarantee the sweep executor makes for
+ * FetchStats). Publishers must therefore only record values that are
+ * themselves scheduling-independent; anything derived from thread
+ * count or wall-clock belongs in timing/trace output, not here.
+ *
+ * The registry is off by default. It turns on when IBS_OBS=1 or
+ * IBS_OBS_TRACE is set (see obs/trace_sink.h), or programmatically
+ * via setEnabled(). Publishers gate on enabled() — a single relaxed
+ * atomic load — so a disabled registry costs one branch per
+ * *publication site* (component teardown), and nothing at all on the
+ * per-fetch hot path.
+ */
+
+#ifndef IBS_OBS_REGISTRY_H
+#define IBS_OBS_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/report.h"
+
+namespace ibs::obs {
+
+/** Process-wide counter/gauge registry with per-thread shards. */
+class Registry
+{
+  public:
+    /** The process-wide instance (components publish here). */
+    static Registry &global();
+
+    /** Publication gate; relaxed load, safe from any thread. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Flip the gate (environment init, microbench, tests). */
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Add `delta` to counter `name` in this thread's shard. */
+    void add(const std::string &name, uint64_t delta);
+
+    /** Raise gauge `name` to at least `value` (merged by max). */
+    void gaugeMax(const std::string &name, uint64_t value);
+
+    /**
+     * Deterministic merged view: counters summed and gauges maxed
+     * across all shards, keys in lexicographic order. Counter and
+     * gauge namespaces must not overlap (a name used as both keeps
+     * the counter sum).
+     */
+    std::map<std::string, uint64_t> snapshot() const;
+
+    /** snapshot() as a JSON object (keys already sorted). */
+    Json snapshotJson() const;
+
+    /** Zero every shard (tests, microbench repetitions). Thread
+     *  shards stay registered, so concurrent publishers are safe. */
+    void reset();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+  private:
+    Registry();
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::map<std::string, uint64_t> counters;
+        std::map<std::string, uint64_t> gauges;
+    };
+
+    /** This thread's shard, registered on first use. */
+    Shard &localShard();
+
+    mutable std::mutex mutex_; ///< Guards shards_ (the list itself).
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> enabled_{false};
+};
+
+} // namespace ibs::obs
+
+#endif // IBS_OBS_REGISTRY_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ScopedTimer implementation.
+ */
+
+#include "obs/timer.h"
+
+#include "obs/trace_sink.h"
+
+namespace ibs::obs {
+
+void
+ScopedTimer::stop()
+{
+    if (stopped_)
+        return;
+    end_ = std::chrono::steady_clock::now();
+    stopped_ = true;
+    if (TraceEventSink *sink = TraceEventSink::global()) {
+        const uint64_t ts = sink->micros(start_);
+        const uint64_t end = sink->micros(end_);
+        sink->span(name_, cat_, ts, end > ts ? end - ts : 0);
+    }
+}
+
+double
+ScopedTimer::seconds() const
+{
+    const auto end =
+        stopped_ ? end_ : std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start_).count();
+}
+
+} // namespace ibs::obs

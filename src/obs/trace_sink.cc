@@ -1,0 +1,203 @@
+/**
+ * @file
+ * TraceEventSink implementation.
+ */
+
+#include "obs/trace_sink.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/log.h"
+#include "obs/registry.h"
+
+namespace ibs::obs {
+
+namespace {
+
+/** Small dense thread id for trace events (1, 2, ... per OS thread,
+ *  in first-use order). */
+uint32_t
+currentTid()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+/**
+ * Owner of the process-global sink. Function-local static so the
+ * sink's exit-time flush runs before the stdio teardown, and the
+ * constructor touches Registry::global() first so the registry
+ * (sampled during that flush) is destroyed strictly after the sink.
+ */
+struct GlobalSink
+{
+    std::unique_ptr<TraceEventSink> sink;
+
+    GlobalSink()
+    {
+        Registry::global();
+        if (const char *env = std::getenv("IBS_OBS_TRACE");
+            env && *env != '\0')
+            sink = std::make_unique<TraceEventSink>(env);
+    }
+};
+
+GlobalSink &
+globalSink()
+{
+    static GlobalSink owner;
+    return owner;
+}
+
+} // namespace
+
+TraceEventSink::TraceEventSink(std::string path)
+    : path_(std::move(path)),
+      epoch_(std::chrono::steady_clock::now()),
+      pid_(static_cast<int>(::getpid()))
+{
+}
+
+TraceEventSink::~TraceEventSink()
+{
+    if (!written_)
+        write();
+}
+
+uint64_t
+TraceEventSink::nowMicros() const
+{
+    return micros(std::chrono::steady_clock::now());
+}
+
+uint64_t
+TraceEventSink::micros(std::chrono::steady_clock::time_point t) const
+{
+    if (t <= epoch_)
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t -
+                                                              epoch_)
+            .count());
+}
+
+void
+TraceEventSink::span(const std::string &name, const char *cat,
+                     uint64_t ts_us, uint64_t dur_us)
+{
+    const uint32_t tid = currentTid();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{name, cat, 'X', ts_us, dur_us, 0, tid});
+}
+
+void
+TraceEventSink::counter(const std::string &name, uint64_t ts_us,
+                        uint64_t value)
+{
+    const uint32_t tid = currentTid();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{name, nullptr, 'C', ts_us, 0, value, tid});
+}
+
+size_t
+TraceEventSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+Json
+TraceEventSink::build()
+{
+    // Work on a copy: sampling the registry at export must not
+    // accumulate duplicate counter events across repeated writes.
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+    }
+    Registry &registry = Registry::global();
+    if (registry.enabled()) {
+        const uint64_t now = nowMicros();
+        const uint32_t tid = currentTid();
+        for (const auto &[name, value] : registry.snapshot())
+            events.push_back(
+                Event{name, nullptr, 'C', now, 0, value, tid});
+    }
+    // Sort by time for viewers; stable keeps each thread's events in
+    // emission order where timestamps tie, so per-tid timestamps stay
+    // monotonic.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts != b.ts ? a.ts < b.ts
+                                             : a.tid < b.tid;
+                     });
+    Json array = Json::array();
+    for (const Event &e : events) {
+        Json event = Json::object()
+            .set("name", Json::string(e.name));
+        if (e.cat)
+            event.set("cat", Json::string(e.cat));
+        event.set("ph", Json::string(std::string(1, e.ph)))
+            .set("ts", Json::number(e.ts));
+        if (e.ph == 'X')
+            event.set("dur", Json::number(e.dur));
+        event.set("pid", Json::number(int64_t{pid_}))
+            .set("tid", Json::number(uint64_t{e.tid}));
+        if (e.ph == 'C')
+            event.set("args", Json::object().set(
+                                  "value", Json::number(e.value)));
+        array.push(std::move(event));
+    }
+    return Json::object()
+        .set("displayTimeUnit", Json::string("ms"))
+        .set("traceEvents", std::move(array));
+}
+
+bool
+TraceEventSink::write()
+{
+    const std::string text = build().dump() + "\n";
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    if (!f) {
+        log(LogLevel::Error,
+            "TraceEventSink: cannot open %s for writing",
+            path_.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!ok || !closed) {
+        log(LogLevel::Error, "TraceEventSink: short write to %s",
+            path_.c_str());
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    written_ = true;
+    return true;
+}
+
+TraceEventSink *
+TraceEventSink::global()
+{
+    return globalSink().sink.get();
+}
+
+std::unique_ptr<TraceEventSink>
+TraceEventSink::exchangeGlobal(std::unique_ptr<TraceEventSink> sink)
+{
+    GlobalSink &owner = globalSink();
+    std::unique_ptr<TraceEventSink> old = std::move(owner.sink);
+    owner.sink = std::move(sink);
+    return old;
+}
+
+} // namespace ibs::obs

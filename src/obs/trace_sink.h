@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Perfetto-compatible trace-event exporter.
+ *
+ * Emits the chrome `traceEvents` JSON format (the profile format
+ * Perfetto, chrome://tracing and speedscope all load):
+ *
+ *   {
+ *     "displayTimeUnit": "ms",
+ *     "traceEvents": [
+ *       {"name": "cell 0:gs_mach", "cat": "sweep", "ph": "X",
+ *        "ts": 1042, "dur": 3810, "pid": 1234, "tid": 2},
+ *       {"name": "cache.l1.misses", "ph": "C", "ts": 99120,
+ *        "pid": 1234, "tid": 1, "args": {"value": 5521}},
+ *       ...
+ *     ]
+ *   }
+ *
+ * One complete ("X") span is recorded per sweep cell and per workload
+ * materialization (via obs/timer.h), and one counter ("C") sample per
+ * registry counter at export time. Timestamps are microseconds on the
+ * steady clock since sink construction, so they are monotonic per
+ * thread; tids are small dense integers assigned per OS thread.
+ *
+ * Enabled by IBS_OBS_TRACE=<path>: the process-global sink then
+ * exists and every ScopedTimer feeds it; the file is written once, at
+ * process exit (or on an explicit write()). When the variable is
+ * unset, global() is null and emission costs one pointer check.
+ *
+ * The document is assembled with the stats/report JSON emitter, so
+ * span names with quotes, backslashes or control characters are
+ * escaped per RFC 8259 and the output always re-parses.
+ */
+
+#ifndef IBS_OBS_TRACE_SINK_H
+#define IBS_OBS_TRACE_SINK_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/report.h"
+
+namespace ibs::obs {
+
+/** Collects trace events and writes one traceEvents JSON file. */
+class TraceEventSink
+{
+  public:
+    /** @param path output file, written by write() / the destructor */
+    explicit TraceEventSink(std::string path);
+
+    /** Writes the file if write() has not been called yet. */
+    ~TraceEventSink();
+
+    TraceEventSink(const TraceEventSink &) = delete;
+    TraceEventSink &operator=(const TraceEventSink &) = delete;
+
+    /** Microseconds on the steady clock since construction. */
+    uint64_t nowMicros() const;
+
+    /** As nowMicros() for an already-taken time point (clamped to 0
+     *  for points before construction). */
+    uint64_t micros(std::chrono::steady_clock::time_point t) const;
+
+    /**
+     * Record a complete span ("ph":"X"). Thread-safe; the calling
+     * thread's id becomes the event tid.
+     *
+     * @param name span name (any bytes; escaped on export)
+     * @param cat category string with static storage duration
+     * @param ts_us start, microseconds since construction
+     * @param dur_us duration in microseconds
+     */
+    void span(const std::string &name, const char *cat, uint64_t ts_us,
+              uint64_t dur_us);
+
+    /** Record a counter sample ("ph":"C"). Thread-safe. */
+    void counter(const std::string &name, uint64_t ts_us,
+                 uint64_t value);
+
+    /** Number of events recorded so far. */
+    size_t eventCount() const;
+
+    /**
+     * Assemble the document: registry counters are sampled (when the
+     * registry is enabled), events sorted by (ts, tid) — per-thread
+     * timestamp order is preserved — and wrapped in the traceEvents
+     * envelope. With no events this is a valid empty trace.
+     */
+    Json build();
+
+    /** build() and write to the path (trailing newline). False after
+     *  a warning on I/O failure. Subsequent calls rewrite the file
+     *  with any newer events. */
+    bool write();
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * The process-global sink: created from IBS_OBS_TRACE on first
+     * use, null when the variable is unset and nothing was installed.
+     */
+    static TraceEventSink *global();
+
+    /** Replace the global sink (microbench, tests); returns the
+     *  previous one so callers can restore it. */
+    static std::unique_ptr<TraceEventSink>
+    exchangeGlobal(std::unique_ptr<TraceEventSink> sink);
+
+  private:
+    struct Event
+    {
+        Event() = default;
+        Event(std::string n, const char *c, char p, uint64_t t,
+              uint64_t d, uint64_t v, uint32_t i)
+            : name(std::move(n)), cat(c), ph(p), ts(t), dur(d),
+              value(v), tid(i)
+        {}
+
+        std::string name;
+        const char *cat; ///< Static string or nullptr.
+        char ph;         ///< 'X' span, 'C' counter.
+        uint64_t ts;
+        uint64_t dur;   ///< Spans only.
+        uint64_t value; ///< Counters only.
+        uint32_t tid;
+    };
+
+    std::string path_;
+    std::chrono::steady_clock::time_point epoch_;
+    int pid_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    bool written_ = false;
+};
+
+} // namespace ibs::obs
+
+#endif // IBS_OBS_TRACE_SINK_H

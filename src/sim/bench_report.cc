@@ -8,6 +8,16 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace_sink.h"
+
+// CMake injects the configured build type (see src/sim/CMakeLists);
+// default for non-CMake compiles of this translation unit.
+#ifndef IBS_BUILD_TYPE
+#define IBS_BUILD_TYPE "unknown"
+#endif
+
 namespace ibs {
 
 Json
@@ -122,6 +132,23 @@ timingJson(const CellTiming &timing)
 BenchReport::BenchReport(std::string bench_name)
     : name_(std::move(bench_name))
 {
+    // Materialize the global trace sink (a no-op without
+    // IBS_OBS_TRACE) so benches that never start a sweep timer still
+    // flush a valid trace file at exit.
+    obs::TraceEventSink::global();
+
+    // Standard provenance fields, present in every report; benches
+    // may add their own keys via meta().
+#if defined(__GNUC__) || defined(__clang__)
+    meta_.set("compiler", Json::string(__VERSION__));
+#else
+    meta_.set("compiler", Json::string("unknown"));
+#endif
+    meta_.set("build_type", Json::string(IBS_BUILD_TYPE))
+        .set("schema_version", Json::number(uint64_t{2}))
+        .set("threads", Json::number(uint64_t{sweepThreads()}))
+        .set("bench_instructions",
+             Json::number(benchInstructions()));
 }
 
 void
@@ -170,16 +197,21 @@ Json
 BenchReport::build() const
 {
     Json doc = Json::object()
-        .set("schema_version", Json::number(uint64_t{1}))
+        .set("schema_version", Json::number(uint64_t{2}))
         .set("bench", Json::string(name_))
-        .set("threads", Json::number(uint64_t{sweepThreads()}));
-    if (meta_.size() > 0)
-        doc.set("meta", meta_);
+        .set("threads", Json::number(uint64_t{sweepThreads()}))
+        .set("meta", meta_);
     Json cells = Json::array();
     for (const Json &cell : cells_)
         cells.push(cell);
     doc.set("cells", std::move(cells))
         .set("total_wall_seconds", Json::number(timer_.seconds()));
+    // The counter snapshot rides along when observability is on; the
+    // text output and the stats objects above are unaffected either
+    // way.
+    const obs::Registry &reg = obs::Registry::global();
+    if (reg.enabled())
+        doc.set("counters", reg.snapshotJson());
     return doc;
 }
 
@@ -203,17 +235,17 @@ BenchReport::write() const
     const std::string text = build().dump() + "\n";
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f) {
-        std::fprintf(stderr,
-                     "BenchReport: cannot open %s for writing\n",
-                     path.c_str());
+        obs::log(obs::LogLevel::Error,
+                 "BenchReport: cannot open %s for writing",
+                 path.c_str());
         return false;
     }
     const bool ok =
         std::fwrite(text.data(), 1, text.size(), f) == text.size();
     const bool closed = std::fclose(f) == 0;
     if (!ok || !closed) {
-        std::fprintf(stderr, "BenchReport: short write to %s\n",
-                     path.c_str());
+        obs::log(obs::LogLevel::Error,
+                 "BenchReport: short write to %s", path.c_str());
         return false;
     }
     return true;

@@ -8,9 +8,17 @@
  * commits. One schema for all 24 benches:
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "bench": "<name>",
  *     "threads": <worker count the sweep executor would use>,
+ *     "meta": {
+ *       "compiler": "<compiler version string>",
+ *       "build_type": "<CMAKE_BUILD_TYPE>",
+ *       "schema_version": 2,
+ *       "threads": <as above>,
+ *       "bench_instructions": <IBS_BENCH_INSTR resolution>,
+ *       ...bench-specific keys added via meta()...
+ *     },
  *     "cells": [
  *       {
  *         "grid": "<which sweep/table of the bench>",
@@ -25,8 +33,14 @@
  *         }
  *       }, ...
  *     ],
- *     "total_wall_seconds": <bench wall-clock, construction to write>
+ *     "total_wall_seconds": <bench wall-clock, construction to write>,
+ *     "counters": { "<component.instance.event>": <n>, ... }
  *   }
+ *
+ * "counters" is the obs::Registry snapshot and appears only when
+ * observability is enabled (IBS_OBS=1 / IBS_OBS_TRACE); stats and
+ * text output are identical either way. Schema history: v1 had no
+ * mandatory meta block and no counters.
  *
  * "cells" is keyed by (config, workload): sweep-driven benches get
  * one cell per grid point per workload straight from the parallel
@@ -105,7 +119,8 @@ class BenchReport
                   const SweepResult &result,
                   const std::vector<std::string> &labels = {});
 
-    /** Extra bench-specific top-level fields ("meta" object). */
+    /** The "meta" object: standard provenance fields are set at
+     *  construction; benches may add their own keys here. */
     Json &meta() { return meta_; }
 
     size_t cellCount() const { return cells_.size(); }

@@ -6,9 +6,11 @@
 #include "sim/runner.h"
 
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
 #include "sim/parallel.h"
 #include "sim/sweep.h"
 #include "trace/trace_cache.h"
@@ -30,11 +32,11 @@ parseEnvCount(const char *name, uint64_t fallback)
     const unsigned long long v = std::strtoull(env, &end, 10);
     if (end == env || *end != '\0' || env[0] == '-' ||
         errno == ERANGE || v == 0) {
-        std::fprintf(stderr,
-                     "ibs: ignoring invalid %s=\"%s\" (want a "
-                     "positive integer); using %llu\n",
-                     name, env,
-                     static_cast<unsigned long long>(fallback));
+        obs::log(obs::LogLevel::Warn,
+                 "ignoring invalid %s=\"%s\" (want a positive "
+                 "integer); using %llu",
+                 name, env,
+                 static_cast<unsigned long long>(fallback));
         return fallback;
     }
     return v;
@@ -81,6 +83,7 @@ SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
     // worker count.
     parallelFor(suite.size(), threads, [&](size_t i) {
         const WorkloadSpec &spec = suite[i];
+        obs::ScopedTimer timer("materialize " + spec.name, "workload");
         const TraceCacheKey key{spec.name, spec.seed,
                                 instructions_per_workload,
                                 kTraceModelVersion};
@@ -89,10 +92,9 @@ SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
             loadCachedTrace(cache_dir, key, addrs)) {
             fromCache_[i] = 1;
             if (log_cache_hits) {
-                std::fprintf(stderr,
-                             "ibs: trace cache hit for %s "
-                             "(%zu instructions)\n",
-                             spec.name.c_str(), addrs.size());
+                obs::log(obs::LogLevel::Info,
+                         "trace cache hit for %s (%zu instructions)",
+                         spec.name.c_str(), addrs.size());
             }
         } else {
             WorkloadModel model(spec);
@@ -107,9 +109,12 @@ SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
                 storeCachedTrace(cache_dir, key, addrs);
         }
         if (addrs.size() < instructions_per_workload) {
-            std::fprintf(stderr,
-                         "ibs: workload %s drained after %zu of %llu "
-                         "instructions; its trace is short\n",
+            // Every materialization of a short workload hits this;
+            // one warning per workload is enough.
+            obs::logOnce(obs::LogLevel::Warn,
+                         "short-trace:" + spec.name,
+                         "workload %s drained after %zu of %llu "
+                         "instructions; its trace is short",
                          spec.name.c_str(), addrs.size(),
                          static_cast<unsigned long long>(
                              instructions_per_workload));
@@ -133,6 +138,8 @@ SuiteTraces::runOne(size_t i, const FetchConfig &config) const
     FetchEngine engine(config);
     for (uint64_t addr : traces_[i])
         engine.fetch(addr);
+    if (obs::Registry::global().enabled())
+        engine.publishCounters(obs::Registry::global());
     return engine.stats();
 }
 

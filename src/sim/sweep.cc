@@ -5,9 +5,11 @@
 
 #include "sim/sweep.h"
 
-#include <chrono>
+#include <string>
 #include <thread>
 
+#include "obs/progress.h"
+#include "obs/timer.h"
 #include "sim/parallel.h"
 
 namespace ibs {
@@ -37,20 +39,24 @@ runSweep(const SuiteTraces &suite, const std::vector<FetchConfig> &configs,
     if (threads == 0)
         threads = sweepThreads();
 
+    obs::SweepProgress progress("sweep", total);
+
     // Each cell writes only its own pre-sized slot, so the shared
     // pool needs no synchronization on the results (see
     // sim/parallel.h for the scheduling and determinism contract).
     parallelFor(total, threads, [&](size_t i) {
         const size_t c = i / workloads;
         const size_t w = i % workloads;
-        const auto start = std::chrono::steady_clock::now();
+        obs::ScopedTimer timer(
+            "cell " + std::to_string(c) + ":" + suite.name(w),
+            "sweep");
         const FetchStats stats = suite.runOne(w, configs[c]);
-        const auto stop = std::chrono::steady_clock::now();
+        timer.stop();
         result.cell(c, w) = stats;
         CellTiming &timing = result.timing(c, w);
-        timing.wallSeconds =
-            std::chrono::duration<double>(stop - start).count();
+        timing.wallSeconds = timer.seconds();
         timing.instructions = stats.instructions;
+        progress.cellDone(stats.instructions);
     });
     return result;
 }

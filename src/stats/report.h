@@ -69,6 +69,13 @@ class Json
     /** Array length or object member count (0 otherwise). */
     size_t size() const;
 
+    /** Object members in insertion order (empty for non-objects). */
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        return object_;
+    }
+
     /** Object member by key, or nullptr. */
     const Json *find(const std::string &key) const;
 

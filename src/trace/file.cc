@@ -8,6 +8,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/log.h"
+
 namespace ibs {
 
 namespace {
@@ -60,10 +62,10 @@ TraceFileWriter::~TraceFileWriter()
     try {
         close();
     } catch (const std::exception &e) {
-        std::fprintf(stderr,
-                     "TraceFileWriter: %s — trace file %s may be "
-                     "incomplete\n",
-                     e.what(), path_.c_str());
+        obs::log(obs::LogLevel::Error,
+                 "TraceFileWriter: %s — trace file %s may be "
+                 "incomplete",
+                 e.what(), path_.c_str());
     }
 }
 

@@ -7,13 +7,14 @@
 
 #include <unistd.h>
 
-#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "obs/log.h"
+#include "obs/registry.h"
 #include "trace/file.h"
 
 namespace ibs {
@@ -22,6 +23,15 @@ namespace {
 
 /** Sidecar format version (independent of IBST and model versions). */
 constexpr uint32_t SIDECAR_VERSION = 1;
+
+/** One "trace_cache.<op>.<event>" count, if observability is on. */
+void
+count(const char *op, const char *event)
+{
+    obs::Registry &reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.add(std::string("trace_cache.") + op + "." + event, 1);
+}
 
 /** File-name-safe form of a workload name. */
 std::string
@@ -81,8 +91,10 @@ loadCachedTrace(const std::string &dir, const TraceCacheKey &key,
     // key, but the sidecar is what defends against renamed or
     // hand-edited cache entries.
     std::ifstream side(path + ".key");
-    if (!side)
+    if (!side) {
+        count("load", "miss_absent");
         return false;
+    }
 
     uint64_t model = 0, seed = 0, instructions = 0, records = 0;
     uint64_t checksum = 0, sidecar = 0;
@@ -111,8 +123,10 @@ loadCachedTrace(const std::string &dir, const TraceCacheKey &key,
     }
     if (sidecar != SIDECAR_VERSION || !have_checksum ||
         model != key.modelVersion || workload != sanitize(key.workload) ||
-        seed != key.seed || instructions != key.instructions)
+        seed != key.seed || instructions != key.instructions) {
+        count("load", "miss_key_mismatch");
         return false;
+    }
 
     try {
         TraceFileReader reader(path);
@@ -124,12 +138,16 @@ loadCachedTrace(const std::string &dir, const TraceCacheKey &key,
                 loaded.push_back(rec.vaddr);
         }
         if (loaded.size() != records ||
-            traceChecksum(loaded) != checksum)
+            traceChecksum(loaded) != checksum) {
+            count("load", "miss_checksum");
             return false;
+        }
         addrs = std::move(loaded);
+        count("load", "hit");
         return true;
     } catch (const std::exception &) {
         // Truncated, corrupted, or wrong-format file: regenerate.
+        count("load", "miss_decode");
         return false;
     }
 }
@@ -170,11 +188,13 @@ storeCachedTrace(const std::string &dir, const TraceCacheKey &key,
         // its trace in place, and a half-published pair just misses.
         std::filesystem::rename(tmp_trace, path);
         std::filesystem::rename(tmp_key, path + ".key");
+        count("store", "written");
         return true;
     } catch (const std::exception &e) {
-        std::fprintf(stderr,
-                     "ibs: trace cache store failed for %s: %s\n",
-                     path.c_str(), e.what());
+        obs::log(obs::LogLevel::Warn,
+                 "trace cache store failed for %s: %s", path.c_str(),
+                 e.what());
+        count("store", "failed");
         std::error_code ec;
         std::filesystem::remove(tmp_trace, ec);
         std::filesystem::remove(tmp_key, ec);

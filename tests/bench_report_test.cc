@@ -83,10 +83,17 @@ TEST(BenchReport, BuildMatchesSchema)
 
     // The document must survive its own parser.
     const Json doc = Json::parse(report.build().dump());
-    EXPECT_EQ(doc.at("schema_version").asNumber(), 1);
+    EXPECT_EQ(doc.at("schema_version").asNumber(), 2);
     EXPECT_EQ(doc.at("bench").asString(), "unit_test");
     EXPECT_GE(doc.at("threads").asNumber(), 1);
     EXPECT_EQ(doc.at("meta").at("note").asString(), "hello");
+    // Standard provenance fields every report carries (schema v2).
+    const Json &meta = doc.at("meta");
+    EXPECT_TRUE(meta.at("compiler").isString());
+    EXPECT_TRUE(meta.at("build_type").isString());
+    EXPECT_EQ(meta.at("schema_version").asNumber(), 2);
+    EXPECT_GE(meta.at("threads").asNumber(), 1);
+    EXPECT_GE(meta.at("bench_instructions").asNumber(), 1);
     EXPECT_GE(doc.at("total_wall_seconds").asNumber(), 0.0);
 
     const Json &cells = doc.at("cells");

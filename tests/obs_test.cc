@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs/): counter registry
+ * merge semantics and cross-thread determinism, trace-event export
+ * (escaping, concurrency, monotonicity, empty runs), scoped timers,
+ * the leveled logger, and the sweep progress reporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/progress.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
+#include "obs/trace_sink.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+#include "workload/ibs.h"
+
+namespace ibs {
+namespace {
+
+/** Enable the global registry for one test, restoring the previous
+ *  gate and wiping test counters on the way out. */
+class RegistryGuard
+{
+  public:
+    RegistryGuard() : was_(obs::Registry::global().enabled())
+    {
+        obs::Registry::global().reset();
+        obs::Registry::global().setEnabled(true);
+    }
+    ~RegistryGuard()
+    {
+        obs::Registry::global().reset();
+        obs::Registry::global().setEnabled(was_);
+    }
+
+  private:
+    bool was_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(ObsRegistry, CountersSumAcrossCallsAndThreads)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+    reg.add("t.a.x", 2);
+    reg.add("t.a.x", 3);
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&reg] {
+            for (int i = 0; i < 100; ++i)
+                reg.add("t.a.y", 1);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.at("t.a.x"), 5u);
+    EXPECT_EQ(snap.at("t.a.y"), 400u);
+}
+
+TEST(ObsRegistry, GaugesMergeByMaximum)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+    std::vector<std::thread> workers;
+    for (uint64_t t = 1; t <= 4; ++t) {
+        workers.emplace_back([&reg, t] {
+            reg.gaugeMax("t.gauge.depth", 10 * t);
+            reg.gaugeMax("t.gauge.depth", t);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(reg.snapshot().at("t.gauge.depth"), 40u);
+}
+
+TEST(ObsRegistry, ResetClearsButSnapshotOrdersKeys)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+    reg.add("t.z.last", 1);
+    reg.add("t.a.first", 1);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.begin()->first, "t.a.first");
+
+    const Json j = reg.snapshotJson();
+    EXPECT_EQ(j.size(), 2u);
+    EXPECT_EQ(j.at("t.z.last").asNumber(), 1);
+
+    reg.reset();
+    EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(ObsRegistry, SweepCountersAreThreadCountInvariant)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+
+    SuiteTraces suite({makeSpec(SpecBenchmark::Espresso),
+                       makeSpec(SpecBenchmark::Gcc)},
+                      5000, "", 1, false);
+    const std::vector<FetchConfig> configs = {
+        economyBaseline(),
+        withOnChipL2(economyBaseline(), 64 * 1024, 64, 2)};
+
+    std::map<std::string, uint64_t> baseline;
+    for (unsigned threads : {1u, 4u, 13u}) {
+        reg.reset();
+        runSweep(suite, configs, threads);
+        const auto snap = reg.snapshot();
+        EXPECT_FALSE(snap.empty());
+        EXPECT_TRUE(snap.count("cache.l1.accesses"));
+        EXPECT_TRUE(snap.count("fetch.engine.instructions"));
+        if (threads == 1)
+            baseline = snap;
+        else
+            EXPECT_EQ(snap, baseline)
+                << "counter snapshot differs at " << threads
+                << " threads";
+    }
+    EXPECT_EQ(baseline.at("fetch.engine.instructions"),
+              2u * 2u * 5000u);
+}
+
+TEST(ObsTraceSink, EscapesAwkwardSpanNames)
+{
+    const std::string path =
+        testing::TempDir() + "obs_escape_trace.json";
+    const std::string awkward =
+        "cell \"q\\u\" \\ tab\tnewline\n:done";
+    {
+        obs::TraceEventSink sink(path);
+        sink.span(awkward, "test", 1, 2);
+        ASSERT_TRUE(sink.write());
+    }
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    bool found = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        if (events.at(i).at("name").asString() == awkward)
+            found = true;
+    }
+    EXPECT_TRUE(found) << "escaped span name did not round-trip";
+    std::remove(path.c_str());
+}
+
+TEST(ObsTraceSink, EmptyRunProducesValidEmptyTrace)
+{
+    const bool was = obs::Registry::global().enabled();
+    obs::Registry::global().setEnabled(false);
+    const std::string path =
+        testing::TempDir() + "obs_empty_trace.json";
+    {
+        obs::TraceEventSink sink(path);
+        ASSERT_TRUE(sink.write());
+    }
+    const Json doc = Json::parse(readFile(path));
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    EXPECT_TRUE(doc.at("traceEvents").isArray());
+    EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+    obs::Registry::global().setEnabled(was);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTraceSink, ConcurrentSpansAllSurviveAndStayMonotonicPerTid)
+{
+    const bool was = obs::Registry::global().enabled();
+    obs::Registry::global().setEnabled(false);
+    const std::string path =
+        testing::TempDir() + "obs_concurrent_trace.json";
+    constexpr int THREADS = 8;
+    constexpr int SPANS = 50;
+    {
+        obs::TraceEventSink sink(path);
+        std::vector<std::thread> workers;
+        for (int t = 0; t < THREADS; ++t) {
+            workers.emplace_back([&sink, t] {
+                for (int i = 0; i < SPANS; ++i) {
+                    const uint64_t ts = sink.nowMicros();
+                    sink.span("w" + std::to_string(t) + "/" +
+                                  std::to_string(i),
+                              "test", ts, 1);
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        EXPECT_EQ(sink.eventCount(),
+                  static_cast<size_t>(THREADS * SPANS));
+        ASSERT_TRUE(sink.write());
+    }
+
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), static_cast<size_t>(THREADS * SPANS));
+    // One pid for the whole file; per-tid timestamps non-decreasing
+    // (the sink's stable sort must preserve emission order per
+    // thread).
+    std::map<double, double> last_ts;
+    const double pid = events.at(0).at("pid").asNumber();
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        EXPECT_EQ(e.at("pid").asNumber(), pid);
+        const double tid = e.at("tid").asNumber();
+        const double ts = e.at("ts").asNumber();
+        if (last_ts.count(tid)) {
+            EXPECT_LE(last_ts[tid], ts) << "tid " << tid;
+        }
+        last_ts[tid] = ts;
+    }
+    obs::Registry::global().setEnabled(was);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTraceSink, RewriteSamplesCountersOnceEach)
+{
+    RegistryGuard guard;
+    obs::Registry::global().add("t.rewrite.counter", 7);
+    const std::string path =
+        testing::TempDir() + "obs_rewrite_trace.json";
+    {
+        obs::TraceEventSink sink(path);
+        ASSERT_TRUE(sink.write());
+        ASSERT_TRUE(sink.write()); // Rewrite must not duplicate.
+    }
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    size_t samples = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        if (e.at("ph").asString() == "C" &&
+            e.at("name").asString() == "t.rewrite.counter") {
+            ++samples;
+            EXPECT_EQ(e.at("args").at("value").asNumber(), 7);
+        }
+    }
+    EXPECT_EQ(samples, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTimer, FeedsInstalledGlobalSinkAndMeasures)
+{
+    const std::string path =
+        testing::TempDir() + "obs_timer_trace.json";
+    auto prev = obs::TraceEventSink::exchangeGlobal(
+        std::make_unique<obs::TraceEventSink>(path));
+
+    {
+        obs::ScopedTimer timer("unit phase", "test");
+        EXPECT_GE(timer.seconds(), 0.0);
+        timer.stop();
+        const double frozen = timer.seconds();
+        timer.stop(); // Idempotent: no second span, no new end point.
+        EXPECT_EQ(timer.seconds(), frozen);
+    }
+
+    obs::TraceEventSink *sink = obs::TraceEventSink::global();
+    ASSERT_NE(sink, nullptr);
+    EXPECT_EQ(sink->eventCount(), 1u);
+
+    // Restore: the test sink writes its file on destruction.
+    obs::TraceEventSink::exchangeGlobal(std::move(prev));
+    std::remove(path.c_str());
+}
+
+TEST(ObsTimer, WithoutSinkStillMeasures)
+{
+    auto prev = obs::TraceEventSink::exchangeGlobal(nullptr);
+    obs::ScopedTimer timer("no sink");
+    timer.stop();
+    EXPECT_GE(timer.seconds(), 0.0);
+    obs::TraceEventSink::exchangeGlobal(std::move(prev));
+}
+
+TEST(ObsLog, LevelGatesAndFormatsMessages)
+{
+    const obs::LogLevel was = obs::logLevel();
+    obs::setLogLevel(obs::LogLevel::Warn);
+    EXPECT_TRUE(obs::logEnabled(obs::LogLevel::Error));
+    EXPECT_TRUE(obs::logEnabled(obs::LogLevel::Warn));
+    EXPECT_FALSE(obs::logEnabled(obs::LogLevel::Info));
+
+    ::testing::internal::CaptureStderr();
+    obs::log(obs::LogLevel::Info, "suppressed %d", 1);
+    obs::log(obs::LogLevel::Warn, "kept %s %d", "message", 2);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("suppressed"), std::string::npos) << err;
+    EXPECT_NE(err.find("ibs [warn]: kept message 2\n"),
+              std::string::npos)
+        << err;
+    obs::setLogLevel(was);
+}
+
+TEST(ObsLog, LogOncePrintsOncePerKey)
+{
+    const obs::LogLevel was = obs::logLevel();
+    obs::setLogLevel(obs::LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    EXPECT_TRUE(obs::logOnce(obs::LogLevel::Warn, "obs-test-key-1",
+                             "first %d", 1));
+    EXPECT_FALSE(obs::logOnce(obs::LogLevel::Warn, "obs-test-key-1",
+                              "second %d", 2));
+    EXPECT_TRUE(obs::logOnce(obs::LogLevel::Warn, "obs-test-key-2",
+                             "other"));
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("first 1"), std::string::npos) << err;
+    EXPECT_EQ(err.find("second 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("other"), std::string::npos) << err;
+    obs::setLogLevel(was);
+}
+
+TEST(ObsProgress, DisabledByEnvironmentIsSilent)
+{
+    ::setenv("IBS_PROGRESS", "0", 1);
+    ::testing::internal::CaptureStderr();
+    {
+        obs::SweepProgress progress("test", 3);
+        EXPECT_FALSE(progress.active());
+        for (int i = 0; i < 3; ++i)
+            progress.cellDone(1000);
+    }
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+    ::unsetenv("IBS_PROGRESS");
+}
+
+TEST(ObsProgress, ForcedOnReportsCompletion)
+{
+    ::setenv("IBS_PROGRESS", "1", 1);
+    ::testing::internal::CaptureStderr();
+    {
+        obs::SweepProgress progress("test", 2);
+        EXPECT_TRUE(progress.active());
+        progress.cellDone(500);
+        progress.cellDone(500);
+    }
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("test: 2/2 cells (100.0%)"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("instr/s"), std::string::npos) << err;
+    ::unsetenv("IBS_PROGRESS");
+}
+
+} // namespace
+} // namespace ibs

@@ -1,20 +1,45 @@
 /**
  * @file
- * Schema validator for BENCH_<name>.json reports.
+ * Schema validator for BENCH_<name>.json reports and obs trace files.
  *
- * Exits 0 when every file given on the command line parses as JSON
- * and carries the required report keys (see src/sim/bench_report.h):
- * schema_version, bench, threads, total_wall_seconds, and a non-empty
- * cells array whose entries each have config, workload, stats and a
- * timing object with wall_seconds / instructions /
- * instructions_per_second. Any violation prints the file and reason
- * and exits 1. Used by scripts/check_bench_json.sh (wired in as a
- * ctest) and handy interactively:
+ * Default mode exits 0 when every file given on the command line
+ * parses as JSON and carries the required report keys (see
+ * src/sim/bench_report.h): schema_version (1 or 2), bench, threads,
+ * total_wall_seconds, and a non-empty cells array whose entries each
+ * have config, workload, stats and a timing object with wall_seconds
+ * / instructions / instructions_per_second. Schema v2 additionally
+ * requires the meta provenance block (string compiler/build_type,
+ * numeric schema_version/threads/bench_instructions); the optional
+ * "counters" object must be all-numeric when present in either
+ * version. Any violation prints the file and reason and exits 1.
+ *
+ * Two further modes:
+ *
+ *   --trace <file...>
+ *     Validate Perfetto/chrome traceEvents documents as written by
+ *     obs::TraceEventSink: a top-level object with a traceEvents
+ *     array (possibly empty) of events, each with a string name, a
+ *     "ph" of "X" (needs numeric ts/dur) or "C" (needs numeric ts
+ *     and args.value), and numeric pid/tid.
+ *
+ *   --compare-rate <report> <prefix_a> <prefix_b> <min_ratio>
+ *     Assert stats.fetches_per_second of the first cell whose
+ *     workload name starts with <prefix_a> is at least <min_ratio>
+ *     times that of the <prefix_b> cell. Prefix matching because
+ *     google-benchmark appends "/min_time:..." to benchmark names.
+ *     Used by scripts/check_bench_json.sh to bound the observability
+ *     layer's disabled-mode overhead.
+ *
+ * Used by scripts/check_bench_json.sh and scripts/check_obs_trace.sh
+ * (wired in as ctests) and handy interactively:
  *
  *   ./build/tools/validate_bench_json BENCH_*.json
+ *   ./build/tools/validate_bench_json --trace obs_trace.json
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -39,6 +64,32 @@ requireNumber(const Json &obj, const std::string &key,
     const Json *v = obj.find(key);
     if (!v || !v->isNumber())
         return fail(path, where + ": missing numeric \"" + key + "\"");
+    return true;
+}
+
+bool
+requireString(const Json &obj, const std::string &key,
+              const std::string &path, const std::string &where)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isString())
+        return fail(path, where + ": missing string \"" + key + "\"");
+    return true;
+}
+
+bool
+loadJson(const std::string &path, Json &doc)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(path, "cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        doc = Json::parse(buffer.str());
+    } catch (const std::exception &e) {
+        return fail(path, e.what());
+    }
     return true;
 }
 
@@ -68,30 +119,60 @@ validateCell(const Json &cell, size_t index, const std::string &path)
                       where + ".timing");
 }
 
+/** The schema-v2 provenance block (src/sim/bench_report.h). */
+bool
+validateMeta(const Json &doc, const std::string &path)
+{
+    const Json *meta = doc.find("meta");
+    if (!meta || !meta->isObject())
+        return fail(path, "schema v2: missing object \"meta\"");
+    return requireString(*meta, "compiler", path, "meta") &&
+        requireString(*meta, "build_type", path, "meta") &&
+        requireNumber(*meta, "schema_version", path, "meta") &&
+        requireNumber(*meta, "threads", path, "meta") &&
+        requireNumber(*meta, "bench_instructions", path, "meta");
+}
+
+/** Optional obs::Registry snapshot: flat object, numeric values. */
+bool
+validateCounters(const Json &doc, const std::string &path)
+{
+    const Json *counters = doc.find("counters");
+    if (!counters)
+        return true;
+    if (!counters->isObject())
+        return fail(path, "\"counters\" is not an object");
+    for (const auto &[key, value] : counters->members()) {
+        if (!value.isNumber())
+            return fail(path,
+                        "counters." + key + " is not numeric");
+    }
+    return true;
+}
+
 bool
 validateFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return fail(path, "cannot open");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-
     Json doc;
-    try {
-        doc = Json::parse(buffer.str());
-    } catch (const std::exception &e) {
-        return fail(path, e.what());
-    }
+    if (!loadJson(path, doc))
+        return false;
     if (!doc.isObject())
         return fail(path, "top level is not an object");
     if (!requireNumber(doc, "schema_version", path, "top level"))
         return false;
+    const double version = doc.at("schema_version").asNumber();
+    if (version != 1 && version != 2)
+        return fail(path, "unsupported schema_version " +
+                              std::to_string(version));
     const Json *bench = doc.find("bench");
     if (!bench || !bench->isString())
         return fail(path, "missing string \"bench\"");
     if (!requireNumber(doc, "threads", path, "top level") ||
         !requireNumber(doc, "total_wall_seconds", path, "top level"))
+        return false;
+    if (version == 2 && !validateMeta(doc, path))
+        return false;
+    if (!validateCounters(doc, path))
         return false;
     const Json *cells = doc.find("cells");
     if (!cells || !cells->isArray())
@@ -106,17 +187,153 @@ validateFile(const std::string &path)
     return true;
 }
 
+bool
+validateTraceEvent(const Json &event, size_t index,
+                   const std::string &path)
+{
+    const std::string where =
+        "traceEvents[" + std::to_string(index) + "]";
+    if (!event.isObject())
+        return fail(path, where + ": not an object");
+    if (!requireString(event, "name", path, where) ||
+        !requireString(event, "ph", path, where) ||
+        !requireNumber(event, "ts", path, where) ||
+        !requireNumber(event, "pid", path, where) ||
+        !requireNumber(event, "tid", path, where))
+        return false;
+    const std::string &ph = event.at("ph").asString();
+    if (ph == "X")
+        return requireNumber(event, "dur", path, where);
+    if (ph == "C") {
+        const Json *args = event.find("args");
+        if (!args || !args->isObject())
+            return fail(path, where + ": counter without args");
+        return requireNumber(*args, "value", path, where + ".args");
+    }
+    return fail(path, where + ": unknown ph \"" + ph + "\"");
+}
+
+bool
+validateTraceFile(const std::string &path)
+{
+    Json doc;
+    if (!loadJson(path, doc))
+        return false;
+    if (!doc.isObject())
+        return fail(path, "top level is not an object");
+    const Json *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail(path, "missing array \"traceEvents\"");
+    for (size_t i = 0; i < events->size(); ++i) {
+        if (!validateTraceEvent(events->at(i), i, path))
+            return false;
+    }
+    std::printf("%s: ok (%zu trace events)\n", path.c_str(),
+                events->size());
+    return true;
+}
+
+/** stats.fetches_per_second of the first cell whose workload starts
+ *  with `prefix`; negative when absent. */
+double
+findRate(const Json &doc, const std::string &prefix,
+         const std::string &path)
+{
+    const Json *cells = doc.find("cells");
+    if (!cells || !cells->isArray()) {
+        fail(path, "missing array \"cells\"");
+        return -1.0;
+    }
+    for (size_t i = 0; i < cells->size(); ++i) {
+        const Json &cell = cells->at(i);
+        const Json *workload = cell.find("workload");
+        if (!workload || !workload->isString() ||
+            workload->asString().rfind(prefix, 0) != 0)
+            continue;
+        const Json *stats = cell.find("stats");
+        const Json *rate =
+            stats && stats->isObject()
+                ? stats->find("fetches_per_second")
+                : nullptr;
+        if (!rate || !rate->isNumber()) {
+            fail(path, "cell \"" + workload->asString() +
+                           "\" has no numeric "
+                           "stats.fetches_per_second");
+            return -1.0;
+        }
+        return rate->asNumber();
+    }
+    fail(path, "no cell with workload prefix \"" + prefix + "\"");
+    return -1.0;
+}
+
+int
+compareRate(const std::string &path, const std::string &prefix_a,
+            const std::string &prefix_b, double min_ratio)
+{
+    Json doc;
+    if (!loadJson(path, doc) || !doc.isObject())
+        return 1;
+    const double rate_a = findRate(doc, prefix_a, path);
+    const double rate_b = findRate(doc, prefix_b, path);
+    if (rate_a < 0.0 || rate_b < 0.0)
+        return 1;
+    if (rate_b <= 0.0) {
+        fail(path, "\"" + prefix_b + "\" rate is zero");
+        return 1;
+    }
+    const double ratio = rate_a / rate_b;
+    std::printf("%s: %s = %.3g/s, %s = %.3g/s, ratio %.3f "
+                "(floor %.3f)\n",
+                path.c_str(), prefix_a.c_str(), rate_a,
+                prefix_b.c_str(), rate_b, ratio, min_ratio);
+    if (ratio < min_ratio) {
+        fail(path, "rate ratio " + std::to_string(ratio) +
+                       " below floor " + std::to_string(min_ratio));
+        return 1;
+    }
+    return 0;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s BENCH_<name>.json [more.json...]\n"
+                 "       %s --trace <trace.json> [more.json...]\n"
+                 "       %s --compare-rate <report.json> <prefix_a> "
+                 "<prefix_b> <min_ratio>\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s BENCH_<name>.json [more.json...]\n",
-                     argv[0]);
-        return 2;
+    if (argc < 2)
+        return usage(argv[0]);
+
+    if (std::strcmp(argv[1], "--trace") == 0) {
+        if (argc < 3)
+            return usage(argv[0]);
+        bool ok = true;
+        for (int i = 2; i < argc; ++i)
+            ok = validateTraceFile(argv[i]) && ok;
+        return ok ? 0 : 1;
     }
+
+    if (std::strcmp(argv[1], "--compare-rate") == 0) {
+        if (argc != 6)
+            return usage(argv[0]);
+        char *end = nullptr;
+        const double min_ratio = std::strtod(argv[5], &end);
+        if (end == argv[5] || *end != '\0')
+            return usage(argv[0]);
+        return compareRate(argv[2], argv[3], argv[4], min_ratio);
+    }
+
     bool ok = true;
     for (int i = 1; i < argc; ++i)
         ok = validateFile(argv[i]) && ok;
