@@ -41,6 +41,7 @@
 #include "sim/bench_report.h"
 #include "sim/runner.h"
 #include "trace/file.h"
+#include "trace/run_trace.h"
 #include "trace/trace_cache.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
@@ -232,6 +233,87 @@ BM_FetchEngineStreamBuffer(benchmark::State &state)
     runEngine(state, c);
 }
 BENCHMARK(BM_FetchEngineStreamBuffer);
+
+/** Shared run-length encoding of the common trace at the baseline's
+ *  L1 line size (built once, like SuiteTraces' memo). */
+const RunTrace &
+baselineRuns()
+{
+    static const RunTrace rt =
+        compressRuns(trace(), economyBaseline().l1.lineBytes);
+    return rt;
+}
+
+/**
+ * The headline A/B of the run-length fetch path: one iteration is a
+ * fresh FetchEngine (economy baseline) over the whole shared trace,
+ * replayed either via fetchRun over the compressed runs (batched:1,
+ * what SuiteTraces::runOne does by default) or via the scalar
+ * per-instruction fetch() loop (batched:0, the IBS_FETCH_SCALAR=1
+ * path). Identical work per iteration, so fetches_per_second is
+ * directly comparable — scripts/check_bench_json.sh compares the two
+ * cells, and the EXPERIMENTS.md throughput table quotes them.
+ */
+void
+BM_BatchedVsScalar(benchmark::State &state)
+{
+    const bool batched = state.range(0) != 0;
+    const FetchConfig config = economyBaseline();
+    const auto &addrs = trace();
+    const RunTrace &runs = baselineRuns();
+    for (auto _ : state) {
+        FetchEngine engine(config);
+        if (batched) {
+            for (const FetchRun &run : runs.runs)
+                engine.fetchRun(run);
+        } else {
+            for (uint64_t a : addrs)
+                engine.fetch(a);
+        }
+        benchmark::DoNotOptimize(engine.stats().cycles);
+    }
+    const auto fetches =
+        static_cast<uint64_t>(state.iterations()) * addrs.size();
+    state.SetItemsProcessed(static_cast<int64_t>(fetches));
+    state.counters["fetches_per_second"] = benchmark::Counter(
+        static_cast<double>(fetches), benchmark::Counter::kIsRate);
+    state.counters["instructions_per_run"] =
+        runs.instructionsPerRun();
+}
+BENCHMARK(BM_BatchedVsScalar)
+    ->ArgNames({"batched"})
+    ->Arg(1)
+    ->Arg(0)
+    ->MinTime(0.25);
+
+/**
+ * Cost of building the run-length encoding itself — what a sweep
+ * pays once per (workload, lineBytes) before the batched replay can
+ * amortize it across the grid. instructions_per_run records the
+ * compression ratio at this line size.
+ */
+void
+BM_RunCompression(benchmark::State &state)
+{
+    const uint32_t line_bytes = static_cast<uint32_t>(state.range(0));
+    const auto &addrs = trace();
+    double ratio = 0.0;
+    for (auto _ : state) {
+        const RunTrace rt = compressRuns(addrs, line_bytes);
+        ratio = rt.instructionsPerRun();
+        benchmark::DoNotOptimize(rt.runs.data());
+    }
+    const auto instrs =
+        static_cast<uint64_t>(state.iterations()) * addrs.size();
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+    state.counters["instructions_per_second"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    state.counters["instructions_per_run"] = ratio;
+}
+BENCHMARK(BM_RunCompression)
+    ->ArgNames({"line"})
+    ->Arg(32)
+    ->Arg(64);
 
 /**
  * Cost of the observability layer around a full-trace engine run:

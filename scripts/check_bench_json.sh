@@ -42,14 +42,25 @@ if [ ! -f "$report" ]; then
     exit 1
 fi
 
-"$validator" "$report"
+# Every bench emits schema v2 (meta block) since PR 4; --min-schema 2
+# turns a silent regression to a v1 report into a hard failure.
+"$validator" --min-schema 2 "$report"
 
-# The microbench carries the obs-overhead comparison: the disabled
-# observability layer (mode:1) must stay within 10% of the plain loop
-# (mode:0). Prefix matching — MinTime suffixes the benchmark names.
+# The microbench carries two rate comparisons. Prefix matching —
+# MinTime suffixes the benchmark names.
 if [ "$bench_name" = "microbench" ]; then
+    # Hard gate: the disabled observability layer (mode:1) must stay
+    # within 10% of the plain loop (mode:0).
     "$validator" --compare-rate "$report" \
         "BM_ObsOverhead/mode:1" "BM_ObsOverhead/mode:0" 0.90
+    # Warn-only: the batched run-length fetch path should beat the
+    # scalar per-instruction loop by >=1.5x on a Release build (see
+    # EXPERIMENTS.md "Run-length fetch path"). Throughput under a CI
+    # load is too noisy to hard-gate, but the schema/cell checks
+    # above still hard-fail if the cells go missing.
+    "$validator" --compare-rate-warn "$report" \
+        "BM_BatchedVsScalar/batched:1" "BM_BatchedVsScalar/batched:0" \
+        1.5
 fi
 
 echo "PASS: ${bench_name} report parses and carries the required keys"

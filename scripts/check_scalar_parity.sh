@@ -1,0 +1,54 @@
+#!/bin/sh
+# Differential stdout check of the run-length batched fetch path:
+# run each given bench twice at a small trace length — once on the
+# default batched path and once with IBS_FETCH_SCALAR=1 forcing the
+# per-instruction loop — and fail unless the text outputs are
+# byte-identical. The batched path is an optimization of the replay
+# loop only; any stdout difference means it perturbed simulated
+# statistics.
+#
+# Usage: check_scalar_parity.sh <instructions> <bench-binary> [more...]
+#
+# Wired in as the ctest "fetch_scalar_stdout_diff"
+# (tests/CMakeLists.txt); also runnable by hand against every bench:
+#
+#   scripts/check_scalar_parity.sh 50000 build/bench/table*  \
+#       build/bench/fig* build/bench/ablation_*
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <instructions> <bench-binary> [more...]" >&2
+    exit 2
+fi
+
+instr="$1"
+shift
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/ibs_scalar_parity.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+status=0
+for bench in "$@"; do
+    name=$(basename "$bench")
+    # JSON reports land in the scratch dir so the build tree stays
+    # clean; only stdout is compared (wall-clock timings in the JSON
+    # legitimately differ between runs).
+    IBS_BENCH_INSTR="$instr" IBS_BENCH_JSON_DIR="$workdir" \
+        "$bench" > "$workdir/$name.batched.txt"
+    IBS_BENCH_INSTR="$instr" IBS_BENCH_JSON_DIR="$workdir" \
+        IBS_FETCH_SCALAR=1 \
+        "$bench" > "$workdir/$name.scalar.txt"
+    if diff -u "$workdir/$name.batched.txt" \
+            "$workdir/$name.scalar.txt" > /dev/null; then
+        echo "PASS: $name batched stdout == scalar stdout" \
+             "(IBS_BENCH_INSTR=$instr)"
+    else
+        echo "FAIL: $name stdout differs between batched and" \
+             "IBS_FETCH_SCALAR=1 runs:" >&2
+        diff -u "$workdir/$name.batched.txt" \
+            "$workdir/$name.scalar.txt" >&2 || true
+        status=1
+    fi
+done
+exit $status

@@ -55,6 +55,24 @@ class Cache
      *  enforcement in multi-level hierarchies). */
     AccessOutcome accessEx(uint64_t addr);
 
+    /**
+     * Batched hit path: reference the line containing `addr` `count`
+     * times with a single tag probe. On a hit the counters and — for
+     * LRU — the stamp clock advance exactly as `count` scalar
+     * access() calls would have left them (the clock steps by `count`
+     * and the line takes the final stamp), so interleaving batched
+     * and scalar accesses is bit-identical to an all-scalar run. On a
+     * miss *nothing* changes (no allocation, no counters) and false
+     * is returned so the caller can fall back to the scalar path.
+     *
+     * Defined inline below: this probe runs once per compressed run
+     * in the batched replay loop, and keeping it in the header lets
+     * the compiler fold it into FetchEngine::fetchRun's fast path.
+     *
+     * @retval true hit; the batch has been applied
+     */
+    bool accessRun(uint64_t addr, uint64_t count);
+
     /** Hit/miss test without any state change. */
     bool contains(uint64_t addr) const;
 
@@ -163,6 +181,37 @@ class Cache
     uint64_t hits_ = 0;
     uint64_t evictions_ = 0;
 };
+
+inline bool
+Cache::accessRun(uint64_t addr, uint64_t count)
+{
+    const uint64_t tag = addr >> lineShift_;
+    const uint64_t set = tag & setMask_;
+    if (assoc_ == 1) {
+        if (tags_[set] != tag)
+            return false;
+        accesses_ += count;
+        hits_ += count;
+        if (config_.replacement == Replacement::LRU) {
+            clock_ += count;
+            stamps_[set] = clock_;
+        }
+        return true;
+    }
+    const size_t base = set * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == tag) {
+            accesses_ += count;
+            hits_ += count;
+            if (config_.replacement == Replacement::LRU) {
+                clock_ += count;
+                stamps_[base + w] = clock_;
+            }
+            return true;
+        }
+    }
+    return false;
+}
 
 } // namespace ibs
 

@@ -284,6 +284,8 @@ FetchEngine::reset()
     cycle_ = 0;
     stats_ = FetchStats{};
     prefetchCancels_ = 0;
+    batchedRuns_ = 0;
+    batchFallbacks_ = 0;
     windowActive_ = false;
     prefetchValid_ = false;
 }
@@ -308,6 +310,8 @@ FetchEngine::publishCounters(obs::Registry &registry) const
     registry.add("fetch.engine.bypass_window_hits", stats_.bypassHits);
     registry.add("fetch.engine.stream_buffer_hits",
                  stats_.streamBufferHits);
+    registry.add("fetch.engine.batched_runs", batchedRuns_);
+    registry.add("fetch.engine.batch_fallbacks", batchFallbacks_);
 }
 
 } // namespace ibs

@@ -35,6 +35,7 @@
 #include "core/fetch_config.h"
 #include "core/fetch_stats.h"
 #include "mem/timing.h"
+#include "trace/run_trace.h"
 #include "trace/stream.h"
 
 namespace ibs {
@@ -48,6 +49,29 @@ class FetchEngine
 
     /** Simulate one instruction fetch at virtual address `vaddr`. */
     void fetch(uint64_t vaddr);
+
+    /**
+     * Simulate a whole sequential fetch run (trace/run_trace.h). The
+     * run's instructions are +4-sequential within one L1 line by
+     * construction, so when no bypass/refill window is active and
+     * the line already sits in L1 the entire run retires in O(1):
+     * one tag probe, `instructions += count`, `cycle += count`, and
+     * the L1 stamp clock advanced by `count` (Cache::accessRun), all
+     * bit-identical to `count` scalar fetch() calls. Every other
+     * case — active bypass window, L1 miss, a run cut for a
+     * different line size — falls back to the scalar loop, so
+     * simulated statistics never depend on which path ran.
+     *
+     * The run must have been encoded with a line size equal to (or
+     * dividing) the L1's: a run that could straddle an L1 line is
+     * detected and handled by the fallback, at scalar speed.
+     *
+     * Defined inline below: one call per compressed run is the whole
+     * per-run cost of the batched replay loop, so the hit path (a
+     * window check, a line-straddle compare, one inlined tag probe)
+     * must not also pay a cross-TU call.
+     */
+    void fetchRun(const FetchRun &run);
 
     /**
      * Touch the L2 with a data reference (unified-L2 mode): the data
@@ -117,6 +141,10 @@ class FetchEngine
      *  double miss plus queued entries superseded by a demand fetch.
      *  Observability-only — not part of FetchStats or any table. */
     uint64_t prefetchCancels_ = 0;
+    /** fetchRun() path selection. Observability-only: the simulated
+     *  statistics are identical whichever path retires a run. */
+    uint64_t batchedRuns_ = 0;   ///< Runs retired by the O(1) path.
+    uint64_t batchFallbacks_ = 0; ///< Runs replayed per-instruction.
 
     // Bypass refill window state.
     bool windowActive_ = false;
@@ -133,6 +161,33 @@ class FetchEngine
     uint64_t nextPrefetch_ = 0;
     bool prefetchValid_ = false;
 };
+
+inline void
+FetchEngine::fetchRun(const FetchRun &run)
+{
+    if (run.count == 0)
+        return;
+    // Fast path: no bypass/refill window in progress, the run stays
+    // inside one L1 line (guaranteed when it was encoded at the L1's
+    // line size; checked so coarser encodings degrade to the scalar
+    // loop instead of mis-simulating), and that line is resident.
+    // accessRun leaves the cache counters and LRU stamp clock exactly
+    // as `count` scalar probes would, and mutates nothing on a miss.
+    const uint64_t last =
+        run.startVaddr + uint64_t{run.count - 1} * kInstrBytes;
+    if (!windowActive_ &&
+        config_.l1.lineAddr(run.startVaddr) == config_.l1.lineAddr(last) &&
+        l1_.accessRun(run.startVaddr, run.count)) {
+        stats_.instructions += run.count;
+        cycle_ += run.count; // One issue cycle per instruction.
+        ++batchedRuns_;
+        return;
+    }
+    ++batchFallbacks_;
+    uint64_t vaddr = run.startVaddr;
+    for (uint32_t k = 0; k < run.count; ++k, vaddr += kInstrBytes)
+        fetch(vaddr);
+}
 
 } // namespace ibs
 

@@ -132,12 +132,56 @@ SuiteTraces::cacheHits() const
     return hits;
 }
 
+bool
+SuiteTraces::scalarFetchForced()
+{
+    const char *env = std::getenv("IBS_FETCH_SCALAR");
+    return env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+const RunTrace &
+SuiteTraces::runTrace(size_t i, uint32_t line_bytes) const
+{
+    RunEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(runTraceMutex_);
+        std::unique_ptr<RunEntry> &slot =
+            runTraces_[{i, line_bytes}];
+        if (!slot)
+            slot = std::make_unique<RunEntry>();
+        entry = slot.get();
+    }
+    // Compression runs outside the map lock; concurrent callers for
+    // the same key rendezvous on the entry's once_flag, callers for
+    // other keys proceed independently.
+    std::call_once(entry->once, [&] {
+        obs::ScopedTimer timer("compress " + names_[i] + " line" +
+                                   std::to_string(line_bytes),
+                               "run_trace");
+        entry->trace = compressRuns(traces_[i], line_bytes);
+    });
+    return entry->trace;
+}
+
+size_t
+SuiteTraces::runTracesBuilt() const
+{
+    std::lock_guard<std::mutex> lock(runTraceMutex_);
+    return runTraces_.size();
+}
+
 FetchStats
 SuiteTraces::runOne(size_t i, const FetchConfig &config) const
 {
     FetchEngine engine(config);
-    for (uint64_t addr : traces_[i])
-        engine.fetch(addr);
+    if (scalarFetchForced()) {
+        for (uint64_t addr : traces_[i])
+            engine.fetch(addr);
+    } else {
+        const RunTrace &runs = runTrace(i, config.l1.lineBytes);
+        for (const FetchRun &run : runs.runs)
+            engine.fetchRun(run);
+    }
     if (obs::Registry::global().enabled())
         engine.publishCounters(obs::Registry::global());
     return engine.stats();

@@ -13,11 +13,16 @@
 #define IBS_SIM_RUNNER_H
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fetch_config.h"
 #include "core/fetch_engine.h"
+#include "trace/run_trace.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
 
@@ -54,12 +59,22 @@ FetchStats runFetch(const WorkloadSpec &spec, const FetchConfig &config,
  * traces; a cache hit logs one line on stderr so warm runs are
  * observable.
  *
- * Thread-safety: once constructed, a SuiteTraces is immutable; every
- * const member (runOne, runSuite, addresses, ...) only reads the
- * stored traces and builds simulation state on the caller's stack,
- * so any number of threads may call them concurrently on one shared
- * instance. sim/sweep.h relies on this to fan a config grid out
- * across workers.
+ * Replay uses the run-length compressed fast path by default: runOne
+ * drives FetchEngine::fetchRun over the workload's RunTrace
+ * (trace/run_trace.h) instead of calling fetch() per instruction.
+ * Because the encoding depends only on the L1 line size, the
+ * compressed trace is memoized per (workload, lineBytes) and shared
+ * read-only by every sweep cell with that line size. Simulated
+ * statistics are bit-identical to the scalar path; setting
+ * IBS_FETCH_SCALAR=1 forces the old per-instruction loop for A/B
+ * comparison.
+ *
+ * Thread-safety: the stored flat traces are immutable after
+ * construction, and the run-trace memo is guarded by a mutex with
+ * each entry built exactly once (std::call_once), so any number of
+ * threads may call the const members (runOne, runSuite, addresses,
+ * runTrace, ...) concurrently on one shared instance. sim/sweep.h
+ * relies on this to fan a config grid out across workers.
  */
 class SuiteTraces
 {
@@ -115,13 +130,37 @@ class SuiteTraces
     /** Number of workloads served from the on-disk cache. */
     size_t cacheHits() const;
 
+    /**
+     * Run-length encoding of workload `i` at `line_bytes` (lazy,
+     * built once, then shared read-only across callers — see the
+     * class comment). The returned reference stays valid for the
+     * lifetime of this SuiteTraces.
+     */
+    const RunTrace &runTrace(size_t i, uint32_t line_bytes) const;
+
+    /** Number of distinct (workload, lineBytes) run-traces built so
+     *  far (diagnostics: how well the memo amortizes). */
+    size_t runTracesBuilt() const;
+
     /** Run one workload's trace through a configuration. */
     FetchStats runOne(size_t i, const FetchConfig &config) const;
 
     /** Run the whole suite and merge (equal-weight average). */
     FetchStats runSuite(const FetchConfig &config) const;
 
+    /** True when IBS_FETCH_SCALAR=1 forces the per-instruction replay
+     *  loop (read per call so tests can flip it at runtime). */
+    static bool scalarFetchForced();
+
   private:
+    /** Memo slot: call_once gives build-exactly-once semantics
+     *  without holding the map mutex during compression. */
+    struct RunEntry
+    {
+        std::once_flag once;
+        RunTrace trace;
+    };
+
     uint64_t requested_ = 0;
     std::vector<std::string> names_;
     std::vector<std::vector<uint64_t>> traces_;
@@ -129,6 +168,14 @@ class SuiteTraces
     // workers can write distinct elements without racing on shared
     // bit-packed words.
     std::vector<uint8_t> fromCache_;
+
+    // (workload, lineBytes) -> lazily built run trace. unique_ptr
+    // keeps entry addresses stable across map rebalancing, so the
+    // mutex only guards the map itself, never a build in progress.
+    mutable std::mutex runTraceMutex_;
+    mutable std::map<std::pair<size_t, uint32_t>,
+                     std::unique_ptr<RunEntry>>
+        runTraces_;
 };
 
 } // namespace ibs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Run-length trace compression.
+ */
+
+#include "trace/run_trace.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ibs {
+
+RunTrace
+compressRuns(const std::vector<uint64_t> &addrs, uint32_t line_bytes)
+{
+    if (line_bytes < kInstrBytes ||
+        !std::has_single_bit(line_bytes)) {
+        throw std::invalid_argument(
+            "compressRuns: line_bytes must be a power of two >= 4");
+    }
+
+    RunTrace trace;
+    trace.lineBytes = line_bytes;
+    trace.instructions = addrs.size();
+    if (addrs.empty())
+        return trace;
+
+    const uint64_t line_mask = ~uint64_t{line_bytes - 1};
+    // Worst case (no compression) is one run per address; typical
+    // traces compress ~8-16x, so reserve conservatively small.
+    trace.runs.reserve(addrs.size() / 4 + 1);
+
+    FetchRun run{addrs[0], 1};
+    uint64_t run_line = addrs[0] & line_mask;
+    uint64_t prev = addrs[0];
+    for (size_t i = 1; i < addrs.size(); ++i) {
+        const uint64_t addr = addrs[i];
+        if (addr == prev + kInstrBytes &&
+            (addr & line_mask) == run_line) {
+            ++run.count;
+        } else {
+            trace.runs.push_back(run);
+            run = FetchRun{addr, 1};
+            run_line = addr & line_mask;
+        }
+        prev = addr;
+    }
+    trace.runs.push_back(run);
+    return trace;
+}
+
+} // namespace ibs

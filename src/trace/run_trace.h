@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Run-length compressed instruction traces.
+ *
+ * The workload model emits geometric *sequential runs* of 4-byte
+ * instructions (DESIGN §2), so with 16-64B cache lines most
+ * consecutive fetches land in the line the previous fetch just
+ * touched. compressRuns() folds a flat instruction-address vector
+ * into FetchRun records — one record per maximal stretch of
+ * consecutive +4 fetches that stays inside a single cache line — so
+ * replay loops can retire a whole line-resident run with one tag
+ * probe (FetchEngine::fetchRun) instead of one probe per
+ * instruction.
+ *
+ * The encoding depends only on the line size, not on any other cache
+ * parameter, which is what lets SuiteTraces share one RunTrace per
+ * (workload, lineBytes) across every cell of a sweep grid.
+ */
+
+#ifndef IBS_TRACE_RUN_TRACE_H
+#define IBS_TRACE_RUN_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ibs {
+
+/** Instruction width of the modelled ISA (MIPS, DESIGN §2). */
+inline constexpr uint32_t kInstrBytes = 4;
+
+/**
+ * One maximal sequential fetch run: `count` instructions at
+ * startVaddr, startVaddr+4, ..., startVaddr+4*(count-1), all inside
+ * one cache line of the RunTrace's lineBytes.
+ */
+struct FetchRun
+{
+    uint64_t startVaddr = 0;
+    uint32_t count = 0;
+};
+
+/** A whole instruction trace as line-bounded sequential runs. */
+struct RunTrace
+{
+    uint32_t lineBytes = 0;    ///< Line size the runs were cut for.
+    uint64_t instructions = 0; ///< Sum of all run counts.
+    std::vector<FetchRun> runs;
+
+    /** Mean instructions per run (compression ratio; 0 if empty). */
+    double
+    instructionsPerRun() const
+    {
+        return runs.empty()
+            ? 0.0
+            : static_cast<double>(instructions) /
+              static_cast<double>(runs.size());
+    }
+};
+
+/**
+ * Compress a flat instruction-address vector into line-bounded
+ * sequential runs.
+ *
+ * A run is extended while the next address is exactly the previous
+ * plus kInstrBytes *and* still in the same `line_bytes`-sized line as
+ * the run's start; any taken branch, discontinuity or line-boundary
+ * crossing starts a new run. Concatenating the runs therefore
+ * reproduces the input exactly — the encoding is lossless.
+ *
+ * @param addrs instruction fetch addresses, in trace order
+ * @param line_bytes cache line size; must be a power of two >= 4
+ * @throws std::invalid_argument on an invalid line size
+ */
+RunTrace compressRuns(const std::vector<uint64_t> &addrs,
+                      uint32_t line_bytes);
+
+} // namespace ibs
+
+#endif // IBS_TRACE_RUN_TRACE_H
