@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ibs::obs {
 
@@ -18,6 +19,27 @@ namespace {
 /** Re-print interval: snappy on a TTY, sparse in a log file. */
 constexpr uint64_t TTY_INTERVAL_US = 200'000;
 constexpr uint64_t PLAIN_INTERVAL_US = 5'000'000;
+
+/**
+ * The process-wide stderr writer every SweepProgress shares. The
+ * mutex serializes whole lines across instances; `lineOwner` is the
+ * instance whose carriage-return line is currently open (so anyone
+ * else printing closes it first); `activeSweeps` gates the in-place
+ * mode — rewriting a line only works while exactly one sweep reports.
+ */
+std::mutex g_writeMutex;
+const void *g_lineOwner = nullptr;       // Guarded by g_writeMutex.
+std::atomic<int> g_activeSweeps{0};
+std::atomic<int> g_ttyOverride{-1};
+
+bool
+stderrIsTty()
+{
+    const int forced = g_ttyOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    return ::isatty(STDERR_FILENO) != 0;
+}
 
 /** "12.3M", "850.0k", "312" — compact rate for one status line. */
 void
@@ -31,6 +53,17 @@ formatRate(double per_second, char *buf, size_t n)
         std::snprintf(buf, n, "%.0f", per_second);
 }
 
+/** Close another instance's (or our own) open in-place line so the
+ *  next write starts at column 0. Caller holds g_writeMutex. */
+void
+closeOpenLine()
+{
+    if (g_lineOwner) {
+        std::fputc('\n', stderr);
+        g_lineOwner = nullptr;
+    }
+}
+
 } // namespace
 
 SweepProgress::SweepProgress(std::string label, size_t total_cells)
@@ -39,25 +72,40 @@ SweepProgress::SweepProgress(std::string label, size_t total_cells)
 {
     if (total_ == 0)
         return;
-    tty_ = ::isatty(STDERR_FILENO) != 0;
+    tty_ = stderrIsTty();
     const char *env = std::getenv("IBS_PROGRESS");
     if (!env || std::strcmp(env, "auto") == 0)
         active_ = tty_;
     else
         active_ = std::strcmp(env, "0") != 0;
+    if (active_)
+        g_activeSweeps.fetch_add(1, std::memory_order_relaxed);
 }
 
 SweepProgress::~SweepProgress()
 {
     if (!active_)
         return;
-    std::lock_guard<std::mutex> lock(printMutex_);
-    if (lineOpen_) {
-        // A sweep aborted by an exception leaves the in-place line
+    {
+        std::lock_guard<std::mutex> lock(g_writeMutex);
+        // A sweep aborted by an exception leaves its in-place line
         // open; terminate it so the next stderr write starts clean.
-        std::fputc('\n', stderr);
-        lineOpen_ = false;
+        if (g_lineOwner == this)
+            closeOpenLine();
     }
+    g_activeSweeps.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int
+SweepProgress::activeCount()
+{
+    return g_activeSweeps.load(std::memory_order_relaxed);
+}
+
+void
+SweepProgress::overrideTtyForTest(int is_tty)
+{
+    g_ttyOverride.store(is_tty, std::memory_order_relaxed);
 }
 
 void
@@ -80,8 +128,10 @@ SweepProgress::cellDone(uint64_t instructions)
         uint64_t next = nextReportUs_.load(std::memory_order_relaxed);
         if (now < next)
             return;
+        const bool in_place = tty_ &&
+            g_activeSweeps.load(std::memory_order_relaxed) == 1;
         const uint64_t interval =
-            tty_ ? TTY_INTERVAL_US : PLAIN_INTERVAL_US;
+            in_place ? TTY_INTERVAL_US : PLAIN_INTERVAL_US;
         if (!nextReportUs_.compare_exchange_strong(
                 next, now + interval, std::memory_order_relaxed))
             return;
@@ -124,18 +174,23 @@ SweepProgress::report(size_t done, bool final_line)
                       eta);
     }
 
-    std::lock_guard<std::mutex> lock(printMutex_);
-    if (tty_) {
+    std::lock_guard<std::mutex> lock(g_writeMutex);
+    // In-place rewriting needs sole ownership of the terminal line;
+    // with concurrent sweeps every instance degrades to plain lines.
+    const bool in_place = tty_ &&
+        g_activeSweeps.load(std::memory_order_relaxed) == 1;
+    if (in_place) {
+        if (g_lineOwner && g_lineOwner != this)
+            closeOpenLine();
         // \r + erase-to-end rewrites the line in place; the final
         // update keeps it and adds the newline.
         std::fprintf(stderr, "\r\033[K%s", line);
-        lineOpen_ = true;
-        if (final_line) {
-            std::fputc('\n', stderr);
-            lineOpen_ = false;
-        }
+        g_lineOwner = this;
+        if (final_line)
+            closeOpenLine();
         std::fflush(stderr);
     } else {
+        closeOpenLine();
         std::fprintf(stderr, "%s\n", line);
     }
 }

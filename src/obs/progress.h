@@ -16,9 +16,19 @@
  *   1     always (plain lines when stderr is not a TTY)
  *   auto  only when stderr is a TTY (the default)
  *
+ * Carriage-return rewriting assumes it owns the terminal line, which
+ * stops being true the moment a second sweep reports from the same
+ * process (the simulation server runs many concurrently). All
+ * instances therefore share one writer: while more than one sweep is
+ * active, in-place rewriting is suspended — every instance falls back
+ * to plain, newline-terminated lines, and any half-open TTY line is
+ * closed first — so concurrent sweeps never interleave garbage into
+ * each other's output.
+ *
  * cellDone() is called concurrently by sweep workers; counters are
  * atomics, printing is throttled by a CAS on the last-report time and
- * serialized by a mutex. When inactive, cellDone is a single branch.
+ * serialized by the process-wide writer mutex. When inactive,
+ * cellDone is a single branch.
  */
 
 #ifndef IBS_OBS_PROGRESS_H
@@ -28,7 +38,6 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 namespace ibs::obs {
@@ -43,7 +52,8 @@ class SweepProgress
      */
     SweepProgress(std::string label, size_t total_cells);
 
-    /** Finishes the in-place line with a newline if one is open. */
+    /** Finishes the in-place line with a newline if this instance
+     *  owns one, and retires from the shared writer. */
     ~SweepProgress();
 
     SweepProgress(const SweepProgress &) = delete;
@@ -58,6 +68,15 @@ class SweepProgress
     /** Reporting is on for this run (env + TTY decision). */
     bool active() const { return active_; }
 
+    /** Active reporters in the process (TTY rewriting needs 1). */
+    static int activeCount();
+
+    /**
+     * Test hook: override the stderr-is-a-TTY probe for instances
+     * constructed afterwards (-1 restores the real isatty).
+     */
+    static void overrideTtyForTest(int is_tty);
+
   private:
     void report(size_t done, bool final_line);
 
@@ -69,8 +88,6 @@ class SweepProgress
     std::atomic<size_t> done_{0};
     std::atomic<uint64_t> instructions_{0};
     std::atomic<uint64_t> nextReportUs_{0};
-    std::mutex printMutex_;
-    bool lineOpen_ = false; ///< TTY line awaiting its newline.
 };
 
 } // namespace ibs::obs

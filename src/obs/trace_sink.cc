@@ -1,6 +1,17 @@
 /**
  * @file
  * TraceEventSink implementation.
+ *
+ * On-disk layout maintained by flushLocked():
+ *
+ *   {"displayTimeUnit": "ms", "traceEvents": [
+ *   <event>,
+ *   <event>
+ *   ]}
+ *
+ * Each flush seeks back over the closing "]}" suffix, appends the
+ * next batch, and rewrites the suffix, so the document parses after
+ * every flush while events stream out incrementally.
  */
 
 #include "obs/trace_sink.h"
@@ -9,7 +20,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 
 #include "obs/log.h"
@@ -18,6 +28,8 @@
 namespace ibs::obs {
 
 namespace {
+
+constexpr size_t kDefaultBufferEvents = 65536;
 
 /** Small dense thread id for trace events (1, 2, ... per OS thread,
  *  in first-use order). */
@@ -28,6 +40,25 @@ currentTid()
     thread_local uint32_t id =
         next.fetch_add(1, std::memory_order_relaxed);
     return id;
+}
+
+/** Rotation threshold: constructor override, else the environment,
+ *  else the default. */
+size_t
+bufferLimit(size_t override_events)
+{
+    if (override_events > 0)
+        return override_events;
+    if (const char *env = std::getenv("IBS_OBS_TRACE_BUFFER");
+        env && *env != '\0') {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<size_t>(v);
+        log(LogLevel::Warn,
+            "ignoring invalid IBS_OBS_TRACE_BUFFER=\"%s\"", env);
+    }
+    return kDefaultBufferEvents;
 }
 
 /**
@@ -58,8 +89,10 @@ globalSink()
 
 } // namespace
 
-TraceEventSink::TraceEventSink(std::string path)
+TraceEventSink::TraceEventSink(std::string path,
+                               size_t max_buffered_events)
     : path_(std::move(path)),
+      maxBuffered_(bufferLimit(max_buffered_events)),
       epoch_(std::chrono::steady_clock::now()),
       pid_(static_cast<int>(::getpid()))
 {
@@ -69,6 +102,8 @@ TraceEventSink::~TraceEventSink()
 {
     if (!written_)
         write();
+    if (file_)
+        std::fclose(file_);
 }
 
 uint64_t
@@ -89,73 +124,156 @@ TraceEventSink::micros(std::chrono::steady_clock::time_point t) const
 }
 
 void
+TraceEventSink::record(Event event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+    written_ = false;
+    if (events_.size() < maxBuffered_)
+        return;
+    // Rotation: spill the full buffer so a long-running process
+    // never accumulates an unbounded event vector.
+    std::vector<Event> batch = std::move(events_);
+    events_.clear();
+    flushLocked(std::move(batch));
+}
+
+void
 TraceEventSink::span(const std::string &name, const char *cat,
                      uint64_t ts_us, uint64_t dur_us)
 {
-    const uint32_t tid = currentTid();
-    std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back(Event{name, cat, 'X', ts_us, dur_us, 0, tid});
+    record(Event{name, cat, 'X', ts_us, dur_us, 0, currentTid()});
 }
 
 void
 TraceEventSink::counter(const std::string &name, uint64_t ts_us,
                         uint64_t value)
 {
-    const uint32_t tid = currentTid();
-    std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back(Event{name, nullptr, 'C', ts_us, 0, value, tid});
+    record(Event{name, nullptr, 'C', ts_us, 0, value, currentTid()});
 }
 
 size_t
 TraceEventSink::eventCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_.size();
+    return events_.size() + spilled_;
+}
+
+size_t
+TraceEventSink::spilledCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spilled_;
+}
+
+Json
+TraceEventSink::eventJson(const Event &e) const
+{
+    Json event = Json::object().set("name", Json::string(e.name));
+    if (e.cat)
+        event.set("cat", Json::string(e.cat));
+    event.set("ph", Json::string(std::string(1, e.ph)))
+        .set("ts", Json::number(e.ts));
+    if (e.ph == 'X')
+        event.set("dur", Json::number(e.dur));
+    event.set("pid", Json::number(int64_t{pid_}))
+        .set("tid", Json::number(uint64_t{e.tid}));
+    if (e.ph == 'C')
+        event.set("args",
+                  Json::object().set("value", Json::number(e.value)));
+    return event;
+}
+
+void
+TraceEventSink::sampleCountersLocked(std::vector<Event> &out)
+{
+    Registry &registry = Registry::global();
+    if (!registry.enabled())
+        return;
+    const uint64_t now = nowMicros();
+    const uint32_t tid = currentTid();
+    for (const auto &[name, value] : registry.snapshot())
+        out.push_back(Event{name, nullptr, 'C', now, 0, value, tid});
+}
+
+bool
+TraceEventSink::flushLocked(std::vector<Event> events)
+{
+    if (ioFailed_)
+        return false; // Drop: memory stays bounded on a dead disk.
+    if (!file_) {
+        file_ = std::fopen(path_.c_str(), "wb");
+        if (!file_) {
+            log(LogLevel::Error,
+                "TraceEventSink: cannot open %s for writing",
+                path_.c_str());
+            ioFailed_ = true;
+            return false;
+        }
+        std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [",
+                   file_);
+    } else {
+        std::fseek(file_, tailPos_, SEEK_SET);
+    }
+
+    // Sort within the batch for viewers; stable keeps each thread's
+    // events in emission order where timestamps tie, so per-tid
+    // timestamps stay monotonic within any single-flush trace.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts != b.ts ? a.ts < b.ts
+                                             : a.tid < b.tid;
+                     });
+    for (const Event &e : events) {
+        if (spilled_ > 0)
+            std::fputc(',', file_);
+        std::fputc('\n', file_);
+        const std::string text = eventJson(e).dump(0);
+        std::fwrite(text.data(), 1, text.size(), file_);
+        ++spilled_;
+    }
+    tailPos_ = std::ftell(file_);
+    std::fputs("\n]}\n", file_);
+    if (std::fflush(file_) != 0 || std::ferror(file_)) {
+        log(LogLevel::Error, "TraceEventSink: short write to %s",
+            path_.c_str());
+        ioFailed_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceEventSink::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.empty() && file_)
+        return !ioFailed_;
+    std::vector<Event> batch = std::move(events_);
+    events_.clear();
+    return flushLocked(std::move(batch));
 }
 
 Json
 TraceEventSink::build()
 {
-    // Work on a copy: sampling the registry at export must not
-    // accumulate duplicate counter events across repeated writes.
+    // Work on a copy of the buffered events: sampling the registry
+    // here must not accumulate duplicate counter events across
+    // repeated builds.
     std::vector<Event> events;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         events = events_;
+        sampleCountersLocked(events);
     }
-    Registry &registry = Registry::global();
-    if (registry.enabled()) {
-        const uint64_t now = nowMicros();
-        const uint32_t tid = currentTid();
-        for (const auto &[name, value] : registry.snapshot())
-            events.push_back(
-                Event{name, nullptr, 'C', now, 0, value, tid});
-    }
-    // Sort by time for viewers; stable keeps each thread's events in
-    // emission order where timestamps tie, so per-tid timestamps stay
-    // monotonic.
     std::stable_sort(events.begin(), events.end(),
                      [](const Event &a, const Event &b) {
                          return a.ts != b.ts ? a.ts < b.ts
                                              : a.tid < b.tid;
                      });
     Json array = Json::array();
-    for (const Event &e : events) {
-        Json event = Json::object()
-            .set("name", Json::string(e.name));
-        if (e.cat)
-            event.set("cat", Json::string(e.cat));
-        event.set("ph", Json::string(std::string(1, e.ph)))
-            .set("ts", Json::number(e.ts));
-        if (e.ph == 'X')
-            event.set("dur", Json::number(e.dur));
-        event.set("pid", Json::number(int64_t{pid_}))
-            .set("tid", Json::number(uint64_t{e.tid}));
-        if (e.ph == 'C')
-            event.set("args", Json::object().set(
-                                  "value", Json::number(e.value)));
-        array.push(std::move(event));
-    }
+    for (const Event &e : events)
+        array.push(eventJson(e));
     return Json::object()
         .set("displayTimeUnit", Json::string("ms"))
         .set("traceEvents", std::move(array));
@@ -164,25 +282,15 @@ TraceEventSink::build()
 bool
 TraceEventSink::write()
 {
-    const std::string text = build().dump() + "\n";
-    std::FILE *f = std::fopen(path_.c_str(), "wb");
-    if (!f) {
-        log(LogLevel::Error,
-            "TraceEventSink: cannot open %s for writing",
-            path_.c_str());
-        return false;
-    }
-    const bool ok =
-        std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    const bool closed = std::fclose(f) == 0;
-    if (!ok || !closed) {
-        log(LogLevel::Error, "TraceEventSink: short write to %s",
-            path_.c_str());
-        return false;
-    }
     std::lock_guard<std::mutex> lock(mutex_);
+    if (written_ && events_.empty() && file_)
+        return !ioFailed_; // Finalized already; nothing new.
+    std::vector<Event> batch = std::move(events_);
+    events_.clear();
+    sampleCountersLocked(batch);
+    const bool ok = flushLocked(std::move(batch));
     written_ = true;
-    return true;
+    return ok;
 }
 
 TraceEventSink *

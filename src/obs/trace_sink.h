@@ -18,18 +18,28 @@
  *
  * One complete ("X") span is recorded per sweep cell and per workload
  * materialization (via obs/timer.h), and one counter ("C") sample per
- * registry counter at export time. Timestamps are microseconds on the
- * steady clock since sink construction, so they are monotonic per
- * thread; tids are small dense integers assigned per OS thread.
+ * registry counter at finalization time. Timestamps are microseconds
+ * on the steady clock since sink construction, so they are monotonic
+ * per thread; tids are small dense integers assigned per OS thread.
+ *
+ * Memory is bounded: events buffer in RAM only up to a rotation
+ * threshold (IBS_OBS_TRACE_BUFFER events, default 65536), then spill
+ * to the output file incrementally. Each flush appends the buffered
+ * batch inside the traceEvents array and rewrites the closing
+ * bracket, so the file on disk is a complete, valid JSON document
+ * after every flush — a long-running server can flush periodically
+ * for days without growing the heap, and a crash between flushes
+ * loses only the unflushed tail. flush() is also the explicit hook
+ * the server's shutdown path calls before exit.
  *
  * Enabled by IBS_OBS_TRACE=<path>: the process-global sink then
- * exists and every ScopedTimer feeds it; the file is written once, at
+ * exists and every ScopedTimer feeds it; the file is finalized at
  * process exit (or on an explicit write()). When the variable is
  * unset, global() is null and emission costs one pointer check.
  *
- * The document is assembled with the stats/report JSON emitter, so
- * span names with quotes, backslashes or control characters are
- * escaped per RFC 8259 and the output always re-parses.
+ * Events are serialized with the stats/report JSON emitter, so span
+ * names with quotes, backslashes or control characters are escaped
+ * per RFC 8259 and the output always re-parses.
  */
 
 #ifndef IBS_OBS_TRACE_SINK_H
@@ -37,6 +47,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,10 +61,17 @@ namespace ibs::obs {
 class TraceEventSink
 {
   public:
-    /** @param path output file, written by write() / the destructor */
-    explicit TraceEventSink(std::string path);
+    /**
+     * @param path output file, written incrementally by flush() and
+     *        finalized by write() / the destructor
+     * @param max_buffered_events buffered-event rotation threshold;
+     *        0 means "from IBS_OBS_TRACE_BUFFER, default 65536"
+     */
+    explicit TraceEventSink(std::string path,
+                            size_t max_buffered_events = 0);
 
-    /** Writes the file if write() has not been called yet. */
+    /** Writes the file (finalizes) if write() has not been called
+     *  since the last recorded event. */
     ~TraceEventSink();
 
     TraceEventSink(const TraceEventSink &) = delete;
@@ -68,7 +86,8 @@ class TraceEventSink
 
     /**
      * Record a complete span ("ph":"X"). Thread-safe; the calling
-     * thread's id becomes the event tid.
+     * thread's id becomes the event tid. May trigger a rotation
+     * flush when the buffer threshold is reached.
      *
      * @param name span name (any bytes; escaped on export)
      * @param cat category string with static storage duration
@@ -82,20 +101,32 @@ class TraceEventSink
     void counter(const std::string &name, uint64_t ts_us,
                  uint64_t value);
 
-    /** Number of events recorded so far. */
+    /** Number of events recorded so far (buffered + spilled). */
     size_t eventCount() const;
 
+    /** Events already spilled to disk by flushes. */
+    size_t spilledCount() const;
+
     /**
-     * Assemble the document: registry counters are sampled (when the
-     * registry is enabled), events sorted by (ts, tid) — per-thread
-     * timestamp order is preserved — and wrapped in the traceEvents
-     * envelope. With no events this is a valid empty trace.
+     * Append all buffered events to the file and drop them from
+     * memory. The file is a complete, valid trace document when this
+     * returns. False (after a warning) on I/O failure; failed events
+     * are discarded so memory stays bounded either way.
+     */
+    bool flush();
+
+    /**
+     * Assemble a document from the events still buffered in memory
+     * (registry counters sampled when the registry is enabled, events
+     * sorted by (ts, tid)). Diagnostic view — the authoritative
+     * artifact is the file maintained by flush()/write().
      */
     Json build();
 
-    /** build() and write to the path (trailing newline). False after
-     *  a warning on I/O failure. Subsequent calls rewrite the file
-     *  with any newer events. */
+    /** Sample registry counters, flush, and finalize the file
+     *  (trailing newline). False after a warning on I/O failure.
+     *  Idempotent: calling again without new events or new flushes
+     *  neither rewrites the file nor duplicates counter samples. */
     bool write();
 
     const std::string &path() const { return path_; }
@@ -130,12 +161,22 @@ class TraceEventSink
         uint32_t tid;
     };
 
+    Json eventJson(const Event &e) const;
+    void record(Event event);
+    bool flushLocked(std::vector<Event> events);
+    void sampleCountersLocked(std::vector<Event> &out);
+
     std::string path_;
+    size_t maxBuffered_;
     std::chrono::steady_clock::time_point epoch_;
     int pid_;
     mutable std::mutex mutex_;
     std::vector<Event> events_;
-    bool written_ = false;
+    std::FILE *file_ = nullptr; ///< Open once spilling starts.
+    long tailPos_ = 0;   ///< Offset of the closing "]}" suffix.
+    size_t spilled_ = 0; ///< Events already on disk.
+    bool ioFailed_ = false;
+    bool written_ = false; ///< Finalized and nothing new since.
 };
 
 } // namespace ibs::obs

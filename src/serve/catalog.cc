@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Config-class and suite catalog implementation.
+ */
+
+#include "serve/catalog.h"
+
+namespace ibs::serve {
+
+const std::vector<ConfigClass> &
+configClasses()
+{
+    static const std::vector<ConfigClass> classes = [] {
+        std::vector<ConfigClass> out;
+        const FetchConfig economy = economyBaseline();
+        const FetchConfig high = highPerfBaseline();
+        out.push_back({"economy", economy});
+        out.push_back({"high_performance", high});
+        out.push_back(
+            {"economy_l2", withOnChipL2(economy, 64 * 1024, 64, 8)});
+        const FetchConfig l2 = withOnChipL2(high, 64 * 1024, 64, 8);
+        out.push_back({"high_performance_l2", l2});
+        // The Figure 7 improvement ladder on the high-perf L2 base.
+        const FetchConfig wide = withL1Bandwidth(l2, 32);
+        out.push_back({"wide_bus", wide});
+        FetchConfig prefetch = wide;
+        prefetch.prefetchLines = 3;
+        out.push_back({"prefetch", prefetch});
+        FetchConfig bypass = prefetch;
+        bypass.bypass = true;
+        out.push_back({"bypass", bypass});
+        FetchConfig stream = wide;
+        stream.pipelined = true;
+        stream.streamBufferLines = 6;
+        out.push_back({"streambuf", stream});
+        for (const ConfigClass &c : out)
+            c.config.validate(); // The catalog must never 500.
+        return out;
+    }();
+    return classes;
+}
+
+const FetchConfig *
+findConfigClass(const std::string &name)
+{
+    for (const ConfigClass &c : configClasses()) {
+        if (c.name == name)
+            return &c.config;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+configClassNames()
+{
+    std::vector<std::string> names;
+    for (const ConfigClass &c : configClasses())
+        names.push_back(c.name);
+    return names;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "ibs_mach", "ibs_ultrix", "spec"};
+    return names;
+}
+
+std::vector<WorkloadSpec>
+suiteByName(const std::string &name)
+{
+    if (name == "ibs_mach")
+        return ibsSuite(OsType::Mach);
+    if (name == "ibs_ultrix")
+        return ibsSuite(OsType::Ultrix);
+    if (name == "spec")
+        return specSuite();
+    return {};
+}
+
+} // namespace ibs::serve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The server's request vocabulary: named config classes and workload
+ * suites.
+ *
+ * A sweep request does not ship raw cache geometries over the wire —
+ * it names grid points from a fixed catalog, which keeps request
+ * validation trivial (an unknown name is a 400, never a half-built
+ * FetchConfig) and keeps the differential guarantee auditable: every
+ * class is built by the same factory code the bench binaries use, so
+ * a server-side cell and a library-side cell start from the
+ * bit-identical FetchConfig.
+ *
+ * The classes cover the paper's mechanism menu: the two Table 5
+ * baselines, their §5.1 on-chip-L2 forms, and the Figure 7
+ * improvement ladder (wide bus, sequential prefetch, bypass buffers,
+ * pipelined L2 + stream buffer) stacked on the high-performance
+ * base.
+ */
+
+#ifndef IBS_SERVE_CATALOG_H
+#define IBS_SERVE_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "core/fetch_config.h"
+#include "workload/ibs.h"
+
+namespace ibs::serve {
+
+/** One named grid point. */
+struct ConfigClass
+{
+    std::string name;
+    FetchConfig config;
+};
+
+/** Every config class, in catalog order. */
+const std::vector<ConfigClass> &configClasses();
+
+/** Class by name, or nullptr. */
+const FetchConfig *findConfigClass(const std::string &name);
+
+/** Names only (error messages, docs). */
+std::vector<std::string> configClassNames();
+
+/** Suite names the server accepts: ibs_mach, ibs_ultrix, spec. */
+const std::vector<std::string> &suiteNames();
+
+/** Workload specs of one suite; empty vector for an unknown name. */
+std::vector<WorkloadSpec> suiteByName(const std::string &name);
+
+} // namespace ibs::serve
+
+#endif // IBS_SERVE_CATALOG_H

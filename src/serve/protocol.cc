@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Frame encode/decode over POSIX sockets.
+ */
+
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace ibs::serve {
+
+namespace {
+
+/**
+ * Read exactly `n` bytes. Returns n on success, 0 on immediate EOF
+ * (no bytes read), -1 on EOF/error partway through.
+ */
+ssize_t
+readAll(int fd, void *data, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        const ssize_t r =
+            ::recv(fd, static_cast<char *>(data) + got, n - got, 0);
+        if (r > 0) {
+            got += static_cast<size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r == 0)
+            return got == 0 ? 0 : -1;
+        return -1;
+    }
+    return static_cast<ssize_t>(got);
+}
+
+} // namespace
+
+bool
+writeAll(int fd, const void *data, size_t n)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w =
+            ::send(fd, static_cast<const char *>(data) + sent,
+                   n - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const Json &message)
+{
+    const std::string payload = message.dump(0);
+    if (payload.size() > kMaxFrameBytes)
+        return false; // Never emit a frame a peer must reject.
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    unsigned char header[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    // One send for the whole frame: a reader never observes a header
+    // without its payload unless the connection actually broke.
+    std::string frame(reinterpret_cast<char *>(header), 4);
+    frame += payload;
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+FrameStatus
+readFrame(int fd, Json &out, std::string &error)
+{
+    unsigned char header[4];
+    const ssize_t h = readAll(fd, header, sizeof(header));
+    if (h == 0)
+        return FrameStatus::Eof;
+    if (h < 0) {
+        error = "connection closed inside a frame header";
+        return FrameStatus::Truncated;
+    }
+    const uint32_t len = (uint32_t{header[0]} << 24) |
+        (uint32_t{header[1]} << 16) | (uint32_t{header[2]} << 8) |
+        uint32_t{header[3]};
+    if (len > kMaxFrameBytes) {
+        error = "frame of " + std::to_string(len) +
+            " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+            "-byte limit";
+        return FrameStatus::Oversized;
+    }
+    std::string payload(len, '\0');
+    if (len > 0 && readAll(fd, payload.data(), len) <= 0) {
+        error = "connection closed inside a " + std::to_string(len) +
+            "-byte payload";
+        return FrameStatus::Truncated;
+    }
+    try {
+        out = Json::parse(payload);
+    } catch (const std::exception &e) {
+        error = e.what();
+        return FrameStatus::BadJson;
+    }
+    return FrameStatus::Ok;
+}
+
+Json
+errorMessage(int code, const std::string &message)
+{
+    return Json::object()
+        .set("type", Json::string("error"))
+        .set("code", Json::number(code))
+        .set("message", Json::string(message));
+}
+
+} // namespace ibs::serve

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Server implementation.
+ */
+
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
+#include "serve/catalog.h"
+#include "sim/bench_report.h"
+#include "sim/parallel.h"
+#include "sim/sweep.h"
+#include "trace/trace_cache.h"
+
+namespace ibs::serve {
+
+namespace {
+
+/** Poll granularity: how quickly idle loops notice requestStop(). */
+constexpr int kPollMillis = 100;
+
+/** A validated sweep request. */
+struct SweepRequest
+{
+    std::string suite;
+    std::vector<std::string> configNames;
+    std::vector<const FetchConfig *> configs;
+    std::vector<WorkloadSpec> workloads;
+    uint64_t instructions = 0;
+};
+
+/** Strings of a JSON array member; throws std::invalid_argument. */
+std::vector<std::string>
+stringList(const Json &request, const std::string &key)
+{
+    std::vector<std::string> out;
+    const Json *list = request.find(key);
+    if (!list)
+        return out;
+    if (!list->isArray())
+        throw std::invalid_argument("\"" + key +
+                                    "\" must be an array of strings");
+    for (size_t i = 0; i < list->size(); ++i) {
+        if (!list->at(i).isString())
+            throw std::invalid_argument(
+                "\"" + key + "\" must be an array of strings");
+        out.push_back(list->at(i).asString());
+    }
+    return out;
+}
+
+/** Parse + validate; throws std::invalid_argument with a message
+ *  that goes straight into the 400 response. */
+SweepRequest
+parseSweepRequest(const Json &request)
+{
+    SweepRequest out;
+    const Json *suite = request.find("suite");
+    if (!suite || !suite->isString())
+        throw std::invalid_argument(
+            "missing string \"suite\" (one of ibs_mach, ibs_ultrix, "
+            "spec)");
+    out.suite = suite->asString();
+    std::vector<WorkloadSpec> all = suiteByName(out.suite);
+    if (all.empty())
+        throw std::invalid_argument("unknown suite \"" + out.suite +
+                                    "\"");
+
+    out.configNames = stringList(request, "configs");
+    if (out.configNames.empty())
+        throw std::invalid_argument(
+            "\"configs\" must name at least one config class");
+    for (const std::string &name : out.configNames) {
+        const FetchConfig *config = findConfigClass(name);
+        if (!config)
+            throw std::invalid_argument("unknown config class \"" +
+                                        name + "\"");
+        out.configs.push_back(config);
+    }
+
+    const std::vector<std::string> subset =
+        stringList(request, "workloads");
+    if (subset.empty()) {
+        out.workloads = std::move(all);
+    } else {
+        for (const std::string &name : subset) {
+            const auto it = std::find_if(
+                all.begin(), all.end(),
+                [&](const WorkloadSpec &w) { return w.name == name; });
+            if (it == all.end())
+                throw std::invalid_argument(
+                    "unknown workload \"" + name + "\" in suite \"" +
+                    out.suite + "\"");
+            out.workloads.push_back(*it);
+        }
+    }
+
+    const Json *instr = request.find("instructions");
+    if (!instr || !instr->isNumber())
+        throw std::invalid_argument(
+            "missing numeric \"instructions\"");
+    const double v = instr->asNumber();
+    if (!(v >= 1) || v != static_cast<double>(
+                              static_cast<uint64_t>(v)))
+        throw std::invalid_argument(
+            "\"instructions\" must be a positive integer");
+    out.instructions = static_cast<uint64_t>(v);
+    return out;
+}
+
+/** Memo key: suite, subset and length identify the traces exactly. */
+std::string
+memoKey(const SweepRequest &request)
+{
+    std::string key = request.suite;
+    for (const WorkloadSpec &w : request.workloads) {
+        key += '|';
+        key += w.name;
+    }
+    key += '#';
+    key += std::to_string(request.instructions);
+    return key;
+}
+
+} // namespace
+
+ServerConfig
+ServerConfig::fromEnv()
+{
+    ServerConfig config;
+    const uint64_t port = parseEnvCount("IBS_SERVE_PORT", 0);
+    config.port = port <= 65535 ? static_cast<uint16_t>(port) : 0;
+    config.maxInflight = static_cast<unsigned>(parseEnvCount(
+        "IBS_SERVE_MAX_INFLIGHT", config.maxInflight));
+    config.memoBytes =
+        parseEnvCount("IBS_SERVE_MEMO_BYTES", config.memoBytes);
+    config.maxTotalInstructions = parseEnvCount(
+        "IBS_SERVE_MAX_INSTR", config.maxTotalInstructions);
+    return config;
+}
+
+Server::Server(ServerConfig config)
+    : config_(config), memo_(config.memoBytes)
+{
+}
+
+Server::Server() : Server(ServerConfig::fromEnv()) {}
+
+Server::~Server()
+{
+    requestStop();
+    wait();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+Server::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("serve: socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throw std::runtime_error(
+            "serve: cannot bind 127.0.0.1:" +
+            std::to_string(config_.port));
+    if (::listen(listenFd_, 64) != 0)
+        throw std::runtime_error("serve: listen() failed");
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    obs::log(obs::LogLevel::Info,
+             "serve: listening on 127.0.0.1:%u (max_inflight=%u, "
+             "memo=%llu bytes)",
+             unsigned{port_}, config_.maxInflight,
+             static_cast<unsigned long long>(config_.memoBytes));
+}
+
+void
+Server::requestStop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+}
+
+void
+Server::wait()
+{
+    std::lock_guard<std::mutex> joined(joinMutex_);
+    if (joined_)
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // The accept loop has exited, so handlers_ can only shrink in
+    // spirit (all are told to stop); join whatever was launched.
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(handlersMutex_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread &t : handlers)
+        t.join();
+    joined_ = true;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, kPollMillis);
+        if (ready <= 0)
+            continue; // Timeout or EINTR: re-check stop_.
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+        // Frames are small and latency-sensitive; Nagle + delayed
+        // ACK would add ~40 ms to every warm response.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(handlersMutex_);
+        handlers_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::mutex write_mutex; // Serializes frames of this connection.
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, kPollMillis);
+        if (ready <= 0)
+            continue;
+        Json request;
+        std::string error;
+        const FrameStatus status = readFrame(fd, request, error);
+        if (status == FrameStatus::Eof)
+            break;
+        if (status != FrameStatus::Ok) {
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(write_mutex);
+            writeFrame(fd, errorMessage(400, error));
+            if (!recoverable(status))
+                break; // The byte stream cannot be resynced.
+            continue;
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        if (!dispatch(fd, request, write_mutex))
+            break;
+    }
+    ::close(fd);
+}
+
+bool
+Server::dispatch(int fd, const Json &request, std::mutex &write_mutex)
+{
+    const Json *type = request.find("type");
+    if (!request.isObject() || !type || !type->isString()) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(write_mutex);
+        return writeFrame(
+            fd, errorMessage(400, "request needs a string \"type\""));
+    }
+    const std::string &kind = type->asString();
+    if (kind == "ping") {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        return writeFrame(
+            fd, Json::object().set("type", Json::string("pong")));
+    }
+    if (kind == "stats") {
+        Json stats = statsMessage();
+        std::lock_guard<std::mutex> lock(write_mutex);
+        return writeFrame(fd, stats);
+    }
+    if (kind == "shutdown") {
+        // Stop first: once the client sees the ack, stopping() is
+        // already true.
+        requestStop();
+        std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrame(fd, Json::object().set(
+                           "type", Json::string("shutting_down")));
+        return false;
+    }
+    if (kind == "sweep") {
+        handleSweep(fd, request, write_mutex);
+        return true;
+    }
+    protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(write_mutex);
+    return writeFrame(
+        fd, errorMessage(400, "unknown request type \"" + kind +
+                                  "\""));
+}
+
+void
+Server::handleSweep(int fd, const Json &request,
+                    std::mutex &write_mutex)
+{
+    SweepRequest sweep;
+    try {
+        sweep = parseSweepRequest(request);
+    } catch (const std::invalid_argument &e) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrame(fd, errorMessage(400, e.what()));
+        return;
+    }
+
+    const uint64_t cells =
+        sweep.configs.size() * sweep.workloads.size();
+    const uint64_t total_instructions = sweep.instructions * cells;
+    if (total_instructions / cells != sweep.instructions ||
+        total_instructions > config_.maxTotalInstructions) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrame(
+            fd,
+            errorMessage(
+                429, "request budget of " +
+                         std::to_string(cells) + " cells x " +
+                         std::to_string(sweep.instructions) +
+                         " instructions exceeds the per-request "
+                         "limit of " +
+                         std::to_string(
+                             config_.maxTotalInstructions) +
+                         " (IBS_SERVE_MAX_INSTR)"));
+        return;
+    }
+
+    // Admission: never execute more than maxInflight sweeps at once.
+    if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+        config_.maxInflight) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrame(fd,
+                   errorMessage(429,
+                                "server is at its in-flight request "
+                                "limit (IBS_SERVE_MAX_INFLIGHT); "
+                                "retry later"));
+        return;
+    }
+    struct InflightGuard
+    {
+        std::atomic<unsigned> &count;
+        ~InflightGuard()
+        {
+            count.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    } inflight_guard{inflight_};
+
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    WallTimer request_timer;
+    obs::ScopedTimer span("serve sweep " + memoKey(sweep), "serve");
+
+    bool memo_hit = false;
+    std::shared_ptr<const SuiteTraces> suite;
+    try {
+        suite = memo_.get(
+            memoKey(sweep),
+            [&] {
+                return std::make_shared<const SuiteTraces>(
+                    sweep.workloads, sweep.instructions,
+                    traceCacheDir(), config_.threads,
+                    /*log_cache_hits=*/false);
+            },
+            &memo_hit);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrame(fd, errorMessage(
+                           500, std::string(
+                                    "trace materialization failed: ") +
+                                    e.what()));
+        return;
+    }
+
+    {
+        Json start = Json::object()
+                         .set("type", Json::string("start"))
+                         .set("protocol",
+                              Json::number(uint64_t{kProtocolVersion}))
+                         .set("cells", Json::number(cells))
+                         .set("memo_hit", Json::boolean(memo_hit));
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (!writeFrame(fd, start))
+            return;
+    }
+
+    // Shard cells over the shared pool; stream each one the moment
+    // it completes. A failed socket write aborts the whole loop via
+    // the pool's exception drain.
+    const size_t workloads = sweep.workloads.size();
+    try {
+        parallelFor(
+            cells,
+            config_.threads ? config_.threads : sweepThreads(),
+            [&](size_t i) {
+                const size_t c = i / workloads;
+                const size_t w = i % workloads;
+                WallTimer cell_timer;
+                const FetchStats stats =
+                    suite->runOne(w, *sweep.configs[c]);
+                const double seconds = cell_timer.seconds();
+                Json cell =
+                    Json::object()
+                        .set("type", Json::string("cell"))
+                        .set("config",
+                             Json::string(sweep.configNames[c]))
+                        .set("config_index", Json::number(c))
+                        .set("workload",
+                             Json::string(sweep.workloads[w].name))
+                        .set("workload_index", Json::number(w))
+                        .set("stats", toJson(stats))
+                        .set("timing",
+                             timingJson(seconds, stats.instructions));
+                std::lock_guard<std::mutex> lock(write_mutex);
+                if (!writeFrame(fd, cell))
+                    throw std::runtime_error(
+                        "client connection lost mid-sweep");
+                cellsDone_.fetch_add(1, std::memory_order_relaxed);
+            });
+    } catch (const std::exception &e) {
+        obs::log(obs::LogLevel::Warn, "serve: sweep aborted: %s",
+                 e.what());
+        return; // Writing anything further would interleave badly.
+    }
+
+    Json done = Json::object()
+                    .set("type", Json::string("done"))
+                    .set("cells", Json::number(cells))
+                    .set("memo_hit", Json::boolean(memo_hit))
+                    .set("wall_seconds",
+                         Json::number(request_timer.seconds()));
+    std::lock_guard<std::mutex> lock(write_mutex);
+    writeFrame(fd, done);
+}
+
+Json
+Server::statsMessage()
+{
+    const Counters c = counters();
+    const TraceMemo::Stats m = memo_.stats();
+    Json memo = Json::object()
+                    .set("hits", Json::number(m.hits))
+                    .set("misses", Json::number(m.misses))
+                    .set("evictions", Json::number(m.evictions))
+                    .set("bytes", Json::number(m.bytes))
+                    .set("budget_bytes",
+                         Json::number(memo_.budgetBytes()))
+                    .set("entries", Json::number(m.entries));
+    Json counters_json =
+        Json::object()
+            .set("connections", Json::number(c.connections))
+            .set("requests", Json::number(c.requests))
+            .set("sweeps", Json::number(c.sweeps))
+            .set("cells", Json::number(c.cells))
+            .set("rejected", Json::number(c.rejected))
+            .set("protocol_errors", Json::number(c.protocolErrors))
+            .set("inflight",
+                 Json::number(uint64_t{inflight_.load(
+                     std::memory_order_relaxed)}));
+    Json message = Json::object()
+                       .set("type", Json::string("stats"))
+                       .set("uptime_wall_seconds",
+                            Json::number(uptime_.seconds()))
+                       .set("max_inflight",
+                            Json::number(
+                                uint64_t{config_.maxInflight}))
+                       .set("counters", std::move(counters_json))
+                       .set("memo", std::move(memo));
+    // The obs registry doubles as the server's /metrics surface.
+    if (obs::Registry::global().enabled())
+        message.set("registry",
+                    obs::Registry::global().snapshotJson());
+    return message;
+}
+
+Server::Counters
+Server::counters() const
+{
+    Counters c;
+    c.connections = connections_.load(std::memory_order_relaxed);
+    c.requests = requests_.load(std::memory_order_relaxed);
+    c.sweeps = sweeps_.load(std::memory_order_relaxed);
+    c.cells = cellsDone_.load(std::memory_order_relaxed);
+    c.rejected = rejected_.load(std::memory_order_relaxed);
+    c.protocolErrors =
+        protocolErrors_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace ibs::serve

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Sweep-as-a-service: a long-running TCP server answering simulation
+ * sweep requests.
+ *
+ * The bench binaries answer "which fetch mechanism wins under code
+ * bloat" as one-shot batch sweeps; this server keeps the simulator
+ * resident so many overlapping clients share its warm state. One
+ * accept loop hands each connection to a handler thread; a request
+ * names a (config-class grid × workload subset × instruction budget)
+ * cell space, which the handler shards over the process-wide
+ * sim/parallel ThreadPool — the same persistent workers every
+ * connection shares — streaming each cell's schema-v2 stats frame
+ * back the moment the cell finishes. Materialized traces live in a
+ * byte-budgeted LRU (serve/memo.h), so a repeated request pays only
+ * replay.
+ *
+ * Admission control keeps the process answerable under overload:
+ * at most `maxInflight` sweep requests execute at once and a request
+ * may not exceed `maxTotalInstructions` simulated instructions
+ * (cells × per-workload length); both reject with a structured
+ * 429-style error frame instead of queueing unboundedly. Stop is
+ * graceful by construction: requestStop() stops the accept loop and
+ * every handler finishes its in-flight request — never leaving a
+ * partial frame on the wire — before wait() returns.
+ *
+ * Environment (ServerConfig::fromEnv): IBS_SERVE_PORT,
+ * IBS_SERVE_MAX_INFLIGHT, IBS_SERVE_MEMO_BYTES, IBS_SERVE_MAX_INSTR.
+ */
+
+#ifndef IBS_SERVE_SERVER_H
+#define IBS_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/memo.h"
+#include "serve/protocol.h"
+#include "stats/report.h"
+
+namespace ibs::serve {
+
+/** Server tunables; defaults are safe for tests and local use. */
+struct ServerConfig
+{
+    uint16_t port = 0;          ///< 0 binds an ephemeral port.
+    unsigned maxInflight = 4;   ///< Concurrent sweep requests.
+    uint64_t memoBytes = 512ull << 20; ///< Trace-memo budget.
+    /** Per-request ceiling on cells × instructions-per-workload. */
+    uint64_t maxTotalInstructions = 2'000'000'000;
+    /** Participant cap per request's cell loop; 0 = sweepThreads. */
+    unsigned threads = 0;
+
+    /** Defaults overlaid with the IBS_SERVE_* environment. */
+    static ServerConfig fromEnv();
+};
+
+/** Loopback TCP server owning an accept loop + handler threads. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    Server();
+
+    /** Stops and drains if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind 127.0.0.1, listen, launch the accept loop. Throws
+     *  std::runtime_error when the socket cannot be set up. */
+    void start();
+
+    /** Bound port (valid after start(); resolves port 0 binds). */
+    uint16_t port() const { return port_; }
+
+    /** Ask the accept loop and all handlers to finish their current
+     *  request and exit. Safe to call repeatedly, from any thread. */
+    void requestStop();
+
+    /** True once requestStop() happened (a shutdown request does). */
+    bool stopping() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+    /** Join the accept loop and every handler; in-flight requests
+     *  complete first. Idempotent. */
+    void wait();
+
+    /** Lifetime counters (also served by the "stats" request). */
+    struct Counters
+    {
+        uint64_t connections = 0;
+        uint64_t requests = 0;
+        uint64_t sweeps = 0;
+        uint64_t cells = 0;
+        uint64_t rejected = 0;       ///< 429 admission rejections.
+        uint64_t protocolErrors = 0; ///< 400s + framing failures.
+    };
+
+    Counters counters() const;
+
+    TraceMemo &memo() { return memo_; }
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** Returns false when the connection must close. */
+    bool dispatch(int fd, const Json &request,
+                  std::mutex &write_mutex);
+    void handleSweep(int fd, const Json &request,
+                     std::mutex &write_mutex);
+    Json statsMessage();
+
+    ServerConfig config_;
+    TraceMemo memo_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<unsigned> inflight_{0};
+    std::thread acceptThread_;
+    std::mutex handlersMutex_;
+    std::vector<std::thread> handlers_;
+    bool joined_ = false;
+    std::mutex joinMutex_;
+    WallTimer uptime_;
+
+    std::atomic<uint64_t> connections_{0};
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> sweeps_{0};
+    std::atomic<uint64_t> cellsDone_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> protocolErrors_{0};
+};
+
+} // namespace ibs::serve
+
+#endif // IBS_SERVE_SERVER_H

@@ -364,5 +364,193 @@ TEST(ObsProgress, ForcedOnReportsCompletion)
     ::unsetenv("IBS_PROGRESS");
 }
 
+TEST(ObsTraceSink, FlushKeepsTheFileValidAfterEveryFlush)
+{
+    const bool was = obs::Registry::global().enabled();
+    obs::Registry::global().setEnabled(false);
+    const std::string path =
+        testing::TempDir() + "obs_flush_trace.json";
+    {
+        obs::TraceEventSink sink(path, 1000);
+        for (int i = 0; i < 5; ++i)
+            sink.span("first batch " + std::to_string(i), "test",
+                      10 + i, 1);
+        ASSERT_TRUE(sink.flush());
+        EXPECT_EQ(sink.spilledCount(), 5u);
+
+        // The file is already a complete document mid-run.
+        const Json mid = Json::parse(readFile(path));
+        EXPECT_EQ(mid.at("traceEvents").size(), 5u);
+
+        for (int i = 0; i < 7; ++i)
+            sink.span("second batch " + std::to_string(i), "test",
+                      100 + i, 1);
+        ASSERT_TRUE(sink.flush());
+        EXPECT_EQ(sink.spilledCount(), 12u);
+        const Json mid2 = Json::parse(readFile(path));
+        EXPECT_EQ(mid2.at("traceEvents").size(), 12u);
+
+        sink.span("tail", "test", 500, 1);
+        ASSERT_TRUE(sink.write()); // Finalize flushes the rest.
+    }
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 13u);
+    std::map<std::string, int> names;
+    for (size_t i = 0; i < events.size(); ++i)
+        ++names[events.at(i).at("name").asString()];
+    EXPECT_EQ(names.size(), 13u); // No event lost or duplicated.
+    EXPECT_EQ(names["tail"], 1);
+    obs::Registry::global().setEnabled(was);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTraceSink, RotationSpillsInsteadOfBufferingUnboundedly)
+{
+    const bool was = obs::Registry::global().enabled();
+    obs::Registry::global().setEnabled(false);
+    const std::string path =
+        testing::TempDir() + "obs_rotation_trace.json";
+    constexpr size_t THRESHOLD = 8;
+    constexpr size_t EVENTS = 103;
+    {
+        obs::TraceEventSink sink(path, THRESHOLD);
+        for (size_t i = 0; i < EVENTS; ++i)
+            sink.span("e" + std::to_string(i), "test", i, 1);
+        // Rotation kept the in-memory buffer under the threshold the
+        // whole time: everything but the tail is already on disk.
+        EXPECT_GE(sink.spilledCount(),
+                  EVENTS - THRESHOLD);
+        EXPECT_EQ(sink.eventCount(), EVENTS);
+        ASSERT_TRUE(sink.write());
+    }
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), EVENTS);
+    std::map<std::string, int> names;
+    for (size_t i = 0; i < events.size(); ++i)
+        ++names[events.at(i).at("name").asString()];
+    for (size_t i = 0; i < EVENTS; ++i)
+        EXPECT_EQ(names["e" + std::to_string(i)], 1) << i;
+    obs::Registry::global().setEnabled(was);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTraceSink, FlushThenWriteSamplesCountersExactlyOnce)
+{
+    RegistryGuard guard;
+    obs::Registry::global().add("t.flushwrite.counter", 11);
+    const std::string path =
+        testing::TempDir() + "obs_flushwrite_trace.json";
+    {
+        obs::TraceEventSink sink(path, 1000);
+        sink.span("before flush", "test", 1, 1);
+        ASSERT_TRUE(sink.flush());
+        sink.span("after flush", "test", 2, 1);
+        ASSERT_TRUE(sink.write());
+    }
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    size_t spans = 0, samples = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        if (e.at("ph").asString() == "X")
+            ++spans;
+        if (e.at("ph").asString() == "C" &&
+            e.at("name").asString() == "t.flushwrite.counter")
+            ++samples;
+    }
+    EXPECT_EQ(spans, 2u);
+    EXPECT_EQ(samples, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ObsProgress, SingleSweepOnATtyRewritesInPlace)
+{
+    ::setenv("IBS_PROGRESS", "1", 1);
+    obs::SweepProgress::overrideTtyForTest(1);
+    ::testing::internal::CaptureStderr();
+    {
+        obs::SweepProgress progress("solo", 2);
+        EXPECT_EQ(obs::SweepProgress::activeCount(), 1);
+        progress.cellDone(100);
+        progress.cellDone(100);
+    }
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find('\r'), std::string::npos) << err;
+    EXPECT_NE(err.find("solo: 2/2 cells (100.0%)"),
+              std::string::npos)
+        << err;
+    obs::SweepProgress::overrideTtyForTest(-1);
+    ::unsetenv("IBS_PROGRESS");
+}
+
+TEST(ObsProgress, ConcurrentSweepsSuspendInPlaceRewriting)
+{
+    ::setenv("IBS_PROGRESS", "1", 1);
+    obs::SweepProgress::overrideTtyForTest(1);
+    ::testing::internal::CaptureStderr();
+    {
+        obs::SweepProgress a("alpha", 2);
+        obs::SweepProgress b("beta", 2);
+        EXPECT_EQ(obs::SweepProgress::activeCount(), 2);
+        // Interleaved completions from two live sweeps.
+        a.cellDone(100);
+        b.cellDone(100);
+        a.cellDone(100);
+        b.cellDone(100);
+    }
+    EXPECT_EQ(obs::SweepProgress::activeCount(), 0);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    // With >1 active sweep the TTY mode must fall back to plain
+    // newline-terminated lines: no carriage returns, no erase codes.
+    EXPECT_EQ(err.find('\r'), std::string::npos) << err;
+    EXPECT_EQ(err.find("\033[K"), std::string::npos) << err;
+    EXPECT_NE(err.find("alpha: 2/2 cells (100.0%)"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("beta: 2/2 cells (100.0%)"),
+              std::string::npos)
+        << err;
+    // Every line is whole: the two labels never share a line.
+    std::stringstream lines(err);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const bool has_alpha =
+            line.find("alpha") != std::string::npos;
+        const bool has_beta =
+            line.find("beta") != std::string::npos;
+        EXPECT_FALSE(has_alpha && has_beta) << line;
+    }
+    obs::SweepProgress::overrideTtyForTest(-1);
+    ::unsetenv("IBS_PROGRESS");
+}
+
+TEST(ObsProgress, InPlaceModeResumesAfterConcurrencyDrops)
+{
+    ::setenv("IBS_PROGRESS", "1", 1);
+    obs::SweepProgress::overrideTtyForTest(1);
+    ::testing::internal::CaptureStderr();
+    {
+        auto a = std::make_unique<obs::SweepProgress>("one", 2);
+        {
+            obs::SweepProgress b("two", 1);
+            b.cellDone(100); // Plain: two sweeps are active.
+        }
+        EXPECT_EQ(obs::SweepProgress::activeCount(), 1);
+        a->cellDone(100);
+        a->cellDone(100); // Back to sole ownership: may rewrite.
+        a.reset();
+    }
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    // The lone survivor's final line used the in-place mode again.
+    EXPECT_NE(err.find('\r'), std::string::npos) << err;
+    EXPECT_NE(err.find("one: 2/2 cells (100.0%)"),
+              std::string::npos)
+        << err;
+    obs::SweepProgress::overrideTtyForTest(-1);
+    ::unsetenv("IBS_PROGRESS");
+}
+
 } // namespace
 } // namespace ibs

@@ -143,6 +143,80 @@ TEST(Json, DumpParseRoundTripNestedDocument)
         static_cast<double>(uint64_t{1} << 40));
 }
 
+TEST(Json, HugeU64CountersRoundTripExactly)
+{
+    // UINT64_MAX: the largest counter the schema can carry. A double
+    // cannot hold it, so the parser's integer path must keep it.
+    const std::string max = "18446744073709551615";
+    const Json parsed = Json::parse("{\"n\": " + max + "}");
+    EXPECT_EQ(parsed.at("n").dump(0), max);
+    EXPECT_EQ(parsed.dump(0), "{\"n\":" + max + "}");
+
+    // Emitting side: a uint64_t survives dump → parse → dump.
+    const Json emitted = Json::object().set(
+        "n", Json::number(uint64_t{18446744073709551615ull}));
+    EXPECT_EQ(Json::parse(emitted.dump(0)).at("n").dump(0), max);
+}
+
+TEST(Json, IntegerOverflowFallsBackToDouble)
+{
+    // One past UINT64_MAX: strtoull sets ERANGE and the parser falls
+    // through to the strtod value instead of wrapping around.
+    const Json over = Json::parse("18446744073709551616");
+    ASSERT_TRUE(over.isNumber());
+    EXPECT_EQ(over.asNumber(), 18446744073709551616.0);
+    EXPECT_NE(over.dump(0), "0"); // A wrap would print 0.
+
+    const Json negative = Json::parse("-99999999999999999999");
+    ASSERT_TRUE(negative.isNumber());
+    EXPECT_EQ(negative.asNumber(), -1e20);
+}
+
+TEST(Json, TruncatedDocumentsThrowInsteadOfCrashing)
+{
+    const char *cases[] = {
+        "",
+        "{",
+        "{\"a\"",
+        "{\"a\":",
+        "{\"a\":1",
+        "{\"a\":1,",
+        "[1, 2",
+        "\"unterminated",
+        "\"escape at end \\",
+        "\"\\u12",
+        "tru",
+        "nul",
+        "-",
+        "1e",
+        "{\"type\": \"sweep\", \"instructions\": ",
+    };
+    for (const char *text : cases)
+        EXPECT_THROW(Json::parse(text), std::runtime_error) << text;
+}
+
+TEST(Json, NonUtf8BytesNeverCrashTheParser)
+{
+    // Raw high bytes inside and outside strings. The parser must
+    // either accept them as opaque string bytes or throw — anything
+    // but memory errors / aborts.
+    const std::string in_string =
+        std::string("{\"k\": \"a") + '\xff' + '\xfe' + "b\"}";
+    try {
+        const Json doc = Json::parse(in_string);
+        EXPECT_EQ(doc.at("k").asString().size(), 4u);
+    } catch (const std::runtime_error &) {
+        // Rejecting is equally acceptable.
+    }
+
+    const std::string bare = std::string("\xff\x00\x80", 3);
+    EXPECT_THROW(Json::parse(bare), std::runtime_error);
+
+    // A frame payload that is all NUL bytes.
+    EXPECT_THROW(Json::parse(std::string(32, '\0')),
+                 std::runtime_error);
+}
+
 TEST(WallTimer, MonotoneAndRestartable)
 {
     WallTimer t;
