@@ -26,6 +26,7 @@
 
 #include <unistd.h>
 
+#include <bit>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -287,6 +288,136 @@ BENCHMARK(BM_BatchedVsScalar)
     ->MinTime(0.25);
 
 /**
+ * The headline A/B of the zero-materialization path: one iteration
+ * generates the workload from scratch *and* replays it through the
+ * economy baseline, either fused (streaming:1 — WorkloadModel blocks
+ * through a RunStream straight into fetchRun; no flat vector, no
+ * stored RunTrace) or via the materialize pipeline (streaming:0 —
+ * flat address vector, compressRuns, then the batched replay; what
+ * every sweep paid before streaming and what IBS_STREAM_GEN=0 still
+ * pays). Identical simulated work per iteration, so
+ * fetches_per_second is directly comparable; peak_trace_bytes
+ * records each variant's high-water trace footprint (one in-flight
+ * FetchRun vs flat vector + run trace), which is what the streaming
+ * path exists to eliminate. scripts/check_bench_json.sh warn-gates
+ * the ratio and the EXPERIMENTS.md table quotes both cells.
+ */
+void
+BM_StreamVsMaterialize(benchmark::State &state)
+{
+    const bool streaming = state.range(0) != 0;
+    const FetchConfig config = economyBaseline();
+    const WorkloadSpec spec = makeIbs(IbsBenchmark::Gs, OsType::Mach);
+    const uint64_t n = traceLength();
+    uint64_t peak_bytes = 0;
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        FetchEngine engine(config);
+        if (streaming) {
+            WorkloadModel model(spec);
+            RunStream stream(model, config.l1.lineBytes, n);
+            FetchRun run;
+            while (stream.next(run))
+                engine.fetchRun(run);
+            instrs = stream.instructions();
+            peak_bytes = sizeof(FetchRun); // One in-flight run.
+        } else {
+            WorkloadModel model(spec);
+            std::vector<uint64_t> addrs;
+            addrs.reserve(n);
+            TraceRecord rec;
+            while (addrs.size() < n && model.next(rec)) {
+                if (rec.isInstr())
+                    addrs.push_back(rec.vaddr);
+            }
+            const RunTrace rt =
+                compressRuns(addrs, config.l1.lineBytes);
+            for (const FetchRun &run : rt.runs)
+                engine.fetchRun(run);
+            instrs = addrs.size();
+            peak_bytes = addrs.size() * sizeof(uint64_t) + rt.bytes();
+        }
+        benchmark::DoNotOptimize(engine.stats().cycles);
+    }
+    const auto fetches =
+        static_cast<uint64_t>(state.iterations()) * instrs;
+    state.SetItemsProcessed(static_cast<int64_t>(fetches));
+    state.counters["fetches_per_second"] = benchmark::Counter(
+        static_cast<double>(fetches), benchmark::Counter::kIsRate);
+    state.counters["peak_trace_bytes"] =
+        static_cast<double>(peak_bytes);
+}
+BENCHMARK(BM_StreamVsMaterialize)
+    ->ArgNames({"streaming"})
+    ->Arg(1)
+    ->Arg(0)
+    ->MinTime(0.25);
+
+/**
+ * The vectorized set-associative tag probe (Cache::probeWays, used by
+ * every lookup) against a bench-local copy of the scalar first-match
+ * loop it replaced, over identical 8-way tag rows with the same
+ * hit-way distribution. All probes hit — the working set exactly
+ * fills the cache — so this isolates probe cost from allocation.
+ * scripts/check_bench_json.sh warn-gates simd:1 against simd:0: the
+ * vectorized probe must not be slower.
+ */
+void
+BM_SimdProbe(benchmark::State &state)
+{
+    const bool simd = state.range(0) != 0;
+    constexpr uint32_t kWays = 8;
+    constexpr uint32_t kLine = 32;
+    const CacheConfig cfg{64 * 1024, kWays, kLine, Replacement::LRU};
+    Cache cache(cfg);
+    const uint64_t lines = cfg.sizeBytes / kLine;
+    const uint64_t num_sets = lines / kWays;
+    // Line i carries tag i into set i & (num_sets-1); the first
+    // `lines` line addresses fill every way of every set with no
+    // evictions. insert() fills invalid ways lowest-first, so set s
+    // holds tags s, s+num_sets, ... way-major — mirrored exactly in
+    // the scalar reference rows below.
+    std::vector<uint64_t> rows(lines);
+    for (uint64_t i = 0; i < lines; ++i) {
+        cache.insert(i * kLine);
+        rows[(i & (num_sets - 1)) * kWays + i / num_sets] = i;
+    }
+    const unsigned shift =
+        static_cast<unsigned>(std::countr_zero(kLine));
+    uint64_t x = 0x9e3779b97f4a7c15ull; // xorshift64 probe sequence
+    for (auto _ : state) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const uint64_t addr = (x & (lines - 1)) * kLine;
+        if (simd) {
+            benchmark::DoNotOptimize(cache.contains(addr));
+        } else {
+            const uint64_t tag = addr >> shift;
+            const uint64_t *row =
+                rows.data() + (tag & (num_sets - 1)) * kWays;
+            bool hit = false;
+            for (uint32_t w = 0; w < kWays; ++w) {
+                if (row[w] == tag) {
+                    hit = true;
+                    break;
+                }
+            }
+            benchmark::DoNotOptimize(hit);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["probes_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimdProbe)
+    ->ArgNames({"simd"})
+    ->Arg(1)
+    ->Arg(0)
+    ->MinTime(0.25);
+
+/**
  * Cost of building the run-length encoding itself — what a sweep
  * pays once per (workload, lineBytes) before the batched replay can
  * amortize it across the grid. instructions_per_run records the
@@ -411,7 +542,9 @@ BM_TraceMaterializeCold(benchmark::State &state)
     const uint64_t n = materializeLength();
     for (auto _ : state) {
         SuiteTraces traces(suite, n, "", 1, false);
-        benchmark::DoNotOptimize(traces.length(0));
+        // Streaming suites defer generation; the flat-trace request
+        // is what forces the cold walk this cell measures.
+        benchmark::DoNotOptimize(traces.addresses(0).size());
     }
     state.SetItemsProcessed(state.iterations() * n);
 }

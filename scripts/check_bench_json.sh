@@ -46,7 +46,7 @@ fi
 # turns a silent regression to a v1 report into a hard failure.
 "$validator" --min-schema 2 "$report"
 
-# The microbench carries two rate comparisons. Prefix matching —
+# The microbench carries several rate comparisons. Prefix matching —
 # MinTime suffixes the benchmark names.
 if [ "$bench_name" = "microbench" ]; then
     # Hard gate: the disabled observability layer (mode:1) must stay
@@ -61,6 +61,16 @@ if [ "$bench_name" = "microbench" ]; then
     "$validator" --compare-rate-warn "$report" \
         "BM_BatchedVsScalar/batched:1" "BM_BatchedVsScalar/batched:0" \
         1.5
+    # Warn-only: fused generate+replay (no flat vector, no stored
+    # RunTrace) should beat materialize-compress-replay by >=1.15x
+    # (EXPERIMENTS.md "Streaming generation").
+    "$validator" --compare-rate-warn "$report" \
+        "BM_StreamVsMaterialize/streaming:1" \
+        "BM_StreamVsMaterialize/streaming:0" 1.15
+    # Warn-only: the vectorized tag probe must not lose to the scalar
+    # first-match loop it replaced.
+    "$validator" --compare-rate-warn "$report" \
+        "BM_SimdProbe/simd:1" "BM_SimdProbe/simd:0" 1.0
 fi
 
 echo "PASS: ${bench_name} report parses and carries the required keys"

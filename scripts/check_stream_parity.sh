@@ -1,0 +1,56 @@
+#!/bin/sh
+# Differential stdout check of streaming run generation: run each
+# given bench twice at a small trace length — once with the default
+# streaming pipeline (runs generated straight from the workload
+# model) and once with IBS_STREAM_GEN=0 forcing
+# materialize-then-compress — and fail unless the text outputs are
+# byte-identical. Streaming changes only how the run-length trace is
+# produced; any stdout difference means the generator and
+# compressRuns disagree on the run cuts or the replay semantics.
+#
+# Usage: check_stream_parity.sh <instructions> <bench-binary> [more...]
+#
+# Wired in as the ctest "fetch_stream_stdout_diff"
+# (tests/CMakeLists.txt); also runnable by hand against every bench:
+#
+#   scripts/check_stream_parity.sh 50000 build/bench/table*  \
+#       build/bench/fig* build/bench/ablation_*
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <instructions> <bench-binary> [more...]" >&2
+    exit 2
+fi
+
+instr="$1"
+shift
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/ibs_stream_parity.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+status=0
+for bench in "$@"; do
+    name=$(basename "$bench")
+    # JSON reports land in the scratch dir so the build tree stays
+    # clean; only stdout is compared (wall-clock timings in the JSON
+    # legitimately differ between runs).
+    IBS_BENCH_INSTR="$instr" IBS_BENCH_JSON_DIR="$workdir" \
+        IBS_STREAM_GEN=1 \
+        "$bench" > "$workdir/$name.stream.txt"
+    IBS_BENCH_INSTR="$instr" IBS_BENCH_JSON_DIR="$workdir" \
+        IBS_STREAM_GEN=0 \
+        "$bench" > "$workdir/$name.materialize.txt"
+    if diff -u "$workdir/$name.stream.txt" \
+            "$workdir/$name.materialize.txt" > /dev/null; then
+        echo "PASS: $name streaming stdout == materialized stdout" \
+             "(IBS_BENCH_INSTR=$instr)"
+    else
+        echo "FAIL: $name stdout differs between IBS_STREAM_GEN=1" \
+             "and IBS_STREAM_GEN=0 runs:" >&2
+        diff -u "$workdir/$name.stream.txt" \
+            "$workdir/$name.materialize.txt" >&2 || true
+        status=1
+    fi
+done
+exit $status

@@ -43,11 +43,11 @@ uint32_t
 Cache::victimWay(uint64_t set)
 {
     const size_t base = set * assoc_;
-    // Prefer an invalid way (invalid slots carry kInvalidTag).
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == kInvalidTag)
-            return w;
-    }
+    // Prefer an invalid way (invalid slots carry kInvalidTag; the
+    // vectorized probe's lowest-match rule reproduces the old scan).
+    const int invalid = probeWays(base, kInvalidTag);
+    if (invalid >= 0)
+        return static_cast<uint32_t>(invalid);
     switch (config_.replacement) {
       case Replacement::LRU:
       case Replacement::FIFO: {
@@ -108,13 +108,12 @@ Cache::access(uint64_t addr)
         return false;
     }
     const size_t base = set * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == tag) {
-            ++hits_;
-            if (config_.replacement == Replacement::LRU)
-                stamps_[base + w] = ++clock_;
-            return true;
-        }
+    const int w = probeWays(base, tag);
+    if (w >= 0) {
+        ++hits_;
+        if (config_.replacement == Replacement::LRU)
+            stamps_[base + static_cast<uint32_t>(w)] = ++clock_;
+        return true;
     }
     const size_t slot = base + victimWay(set);
     if (tags_[slot] != kInvalidTag)
@@ -133,14 +132,13 @@ Cache::accessEx(uint64_t addr)
     const uint64_t tag = addr >> lineShift_;
     const uint64_t set = tag & setMask_;
     const size_t base = set * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == tag) {
-            ++hits_;
-            if (config_.replacement == Replacement::LRU)
-                stamps_[base + w] = ++clock_;
-            outcome.hit = true;
-            return outcome;
-        }
+    const int w = probeWays(base, tag);
+    if (w >= 0) {
+        ++hits_;
+        if (config_.replacement == Replacement::LRU)
+            stamps_[base + static_cast<uint32_t>(w)] = ++clock_;
+        outcome.hit = true;
+        return outcome;
     }
     const size_t slot = base + victimWay(set);
     if (tags_[slot] != kInvalidTag) {
@@ -159,11 +157,7 @@ Cache::contains(uint64_t addr) const
 {
     const uint64_t tag = addr >> lineShift_;
     const size_t base = (tag & setMask_) * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == tag)
-            return true;
-    }
-    return false;
+    return probeWays(base, tag) >= 0;
 }
 
 void
@@ -172,12 +166,11 @@ Cache::insert(uint64_t addr)
     const uint64_t tag = addr >> lineShift_;
     const uint64_t set = tag & setMask_;
     const size_t base = set * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == tag) {
-            if (config_.replacement == Replacement::LRU)
-                stamps_[base + w] = ++clock_;
-            return;
-        }
+    const int w = probeWays(base, tag);
+    if (w >= 0) {
+        if (config_.replacement == Replacement::LRU)
+            stamps_[base + static_cast<uint32_t>(w)] = ++clock_;
+        return;
     }
     const size_t slot = base + victimWay(set);
     if (tags_[slot] != kInvalidTag)
@@ -192,12 +185,10 @@ Cache::invalidate(uint64_t addr)
 {
     const uint64_t tag = addr >> lineShift_;
     const size_t base = (tag & setMask_) * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == tag) {
-            tags_[base + w] = kInvalidTag;
-            clearValid(base + w);
-            return;
-        }
+    const int w = probeWays(base, tag);
+    if (w >= 0) {
+        tags_[base + static_cast<uint32_t>(w)] = kInvalidTag;
+        clearValid(base + static_cast<uint32_t>(w));
     }
 }
 

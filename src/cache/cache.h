@@ -11,14 +11,19 @@
  * valid bitset, rather than a vector of per-line structs. The tag
  * probe — the inner loop of every trace-driven simulation — then
  * walks 8-byte tags instead of 24-byte padded structs, and the
- * direct-mapped case reduces to a single load-compare. Geometry
- * (set mask, line shift, way count) is precomputed at construction so
- * the access path performs no divisions and re-derives nothing.
+ * direct-mapped case reduces to a single load-compare. Set-associative
+ * probes compare four ways at a time (probeWays): the contiguous SoA
+ * tag row turns the unrolled mask-compare into SIMD lane compares
+ * under -O3, with no intrinsics and no target-specific flags.
+ * Geometry (set mask, line shift, way count) is precomputed at
+ * construction so the access path performs no divisions and
+ * re-derives nothing.
  */
 
 #ifndef IBS_CACHE_CACHE_H
 #define IBS_CACHE_CACHE_H
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -162,6 +167,39 @@ class Cache
     /** Choose a victim way in `set` per the replacement policy. */
     uint32_t victimWay(uint64_t set);
 
+    /**
+     * Find the way holding `tag` in the set whose tag row starts at
+     * `base`, or -1. Four ways are compared per step with a mask
+     * reduction — the SoA tag row is contiguous, so the compiler
+     * vectorizes the block into SIMD lane compares — and the lowest
+     * set bit selects the lowest matching way, the same way the old
+     * scalar first-match loop returned (tags are unique within a set,
+     * so at most one lane can match; invalid slots hold kInvalidTag,
+     * which also makes this the invalid-way scan victimWay needs).
+     * Shared by every probe site: access, accessEx, accessRun,
+     * contains, insert, invalidate, victimWay.
+     */
+    int
+    probeWays(size_t base, uint64_t tag) const
+    {
+        const uint64_t *t = tags_.data() + base;
+        uint32_t w = 0;
+        for (; w + 4 <= assoc_; w += 4) {
+            const unsigned m =
+                static_cast<unsigned>(t[w + 0] == tag) |
+                (static_cast<unsigned>(t[w + 1] == tag) << 1) |
+                (static_cast<unsigned>(t[w + 2] == tag) << 2) |
+                (static_cast<unsigned>(t[w + 3] == tag) << 3);
+            if (m)
+                return static_cast<int>(w) + std::countr_zero(m);
+        }
+        for (; w < assoc_; ++w) {
+            if (t[w] == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
     CacheConfig config_;
 
     // Geometry, precomputed once in the constructor so the access
@@ -188,29 +226,33 @@ Cache::accessRun(uint64_t addr, uint64_t count)
     const uint64_t tag = addr >> lineShift_;
     const uint64_t set = tag & setMask_;
     if (assoc_ == 1) {
-        if (tags_[set] != tag)
-            return false;
-        accesses_ += count;
-        hits_ += count;
+        // Branchless direct-mapped probe: the counter bumps and the
+        // stamp write are predicated on the compare result (cmov /
+        // csel), so run replay pays no branch-miss penalty when hit
+        // and miss runs interleave. A miss adds zero to every counter
+        // and stores the stamp's own value back — state is untouched,
+        // exactly as the early-return form left it.
+        const bool hit = tags_[set] == tag;
+        const uint64_t n = hit ? count : 0;
+        accesses_ += n;
+        hits_ += n;
         if (config_.replacement == Replacement::LRU) {
-            clock_ += count;
-            stamps_[set] = clock_;
+            clock_ += n;
+            stamps_[set] = hit ? clock_ : stamps_[set];
         }
-        return true;
+        return hit;
     }
     const size_t base = set * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == tag) {
-            accesses_ += count;
-            hits_ += count;
-            if (config_.replacement == Replacement::LRU) {
-                clock_ += count;
-                stamps_[base + w] = clock_;
-            }
-            return true;
-        }
+    const int w = probeWays(base, tag);
+    if (w < 0)
+        return false;
+    accesses_ += count;
+    hits_ += count;
+    if (config_.replacement == Replacement::LRU) {
+        clock_ += count;
+        stamps_[base + static_cast<uint32_t>(w)] = clock_;
     }
-    return false;
+    return true;
 }
 
 } // namespace ibs

@@ -74,6 +74,16 @@ class FetchEngine
     void fetchRun(const FetchRun &run);
 
     /**
+     * Record that `runs` fetchRun() calls were fed straight from a
+     * streaming generator (workload/run_stream.h) rather than a
+     * materialized RunTrace. Observability-only — published as
+     * fetch.engine.stream_runs; simulated statistics are unaffected.
+     * Called by streaming drivers (sim/runner.h runFetchStreamed)
+     * after the replay loop.
+     */
+    void noteStreamRuns(uint64_t runs) { streamRuns_ += runs; }
+
+    /**
      * Touch the L2 with a data reference (unified-L2 mode): the data
      * stream competes for L2 capacity but charges no fetch stalls.
      * No-op unless the configuration has a real, unified L2.
@@ -145,6 +155,7 @@ class FetchEngine
      *  statistics are identical whichever path retires a run. */
     uint64_t batchedRuns_ = 0;   ///< Runs retired by the O(1) path.
     uint64_t batchFallbacks_ = 0; ///< Runs replayed per-instruction.
+    uint64_t streamRuns_ = 0;    ///< Runs fed by a streaming source.
 
     // Bypass refill window state.
     bool windowActive_ = false;

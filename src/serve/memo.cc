@@ -14,12 +14,29 @@ TraceMemo::TraceMemo(uint64_t byte_budget) : budget_(byte_budget) {}
 uint64_t
 TraceMemo::suiteBytes(const SuiteTraces &suite)
 {
-    uint64_t bytes = 0;
-    for (size_t i = 0; i < suite.count(); ++i)
-        bytes += suite.length(i) * sizeof(uint64_t);
-    // Names, vectors, bookkeeping; the flat traces dominate.
-    bytes += suite.count() * 256;
-    return bytes;
+    // Everything the suite actually retains: flat vectors that were
+    // built plus finished run-trace memo entries. Earlier versions
+    // charged flat traces only, so the run memos a streaming suite
+    // accumulates — its *entire* footprint — were invisible to the
+    // LRU budget.
+    return suite.retainedTraceBytes() + suite.count() * 256;
+}
+
+void
+TraceMemo::refresh(const std::string &key, const SuiteTraces &suite)
+{
+    const uint64_t measured = suiteBytes(suite);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    // Skip evicted keys and entries whose build has not finished
+    // (bytes == 0 marks those for the eviction walk).
+    if (it == entries_.end() || it->second.bytes == 0 ||
+        it->second.bytes == measured) {
+        return;
+    }
+    bytes_ += measured - it->second.bytes; // Unsigned wrap-safe.
+    it->second.bytes = measured;
+    evictOverBudgetLocked();
 }
 
 std::shared_ptr<const SuiteTraces>

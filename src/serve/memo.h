@@ -71,7 +71,21 @@ class TraceMemo
 
     uint64_t budgetBytes() const { return budget_; }
 
-    /** Approximate retained bytes of one suite (flat traces). */
+    /**
+     * Re-measure `key`'s entry against the suite's current retained
+     * bytes and evict if the growth pushed the store over budget.
+     * A suite's run-trace memos accrue *after* its build finishes —
+     * lazily, as sweep cells request new line sizes — and in
+     * streaming mode they are the entire footprint, so the server
+     * calls this after each sweep to keep the budget honest. No-op
+     * for unknown (evicted) keys or entries still building.
+     */
+    void refresh(const std::string &key, const SuiteTraces &suite);
+
+    /** Approximate retained bytes of one suite: flat traces built
+     *  plus finished run-trace memos
+     *  (SuiteTraces::retainedTraceBytes) and fixed per-workload
+     *  overhead. */
     static uint64_t suiteBytes(const SuiteTraces &suite);
 
   private:

@@ -452,6 +452,11 @@ Server::handleSweep(int fd, const Json &request,
         return; // Writing anything further would interleave badly.
     }
 
+    // The sweep may have grown the suite's run-trace memos (new line
+    // sizes); re-measure so the LRU budget charges what is actually
+    // retained.
+    memo_.refresh(memoKey(sweep), *suite);
+
     Json done = Json::object()
                     .set("type", Json::string("done"))
                     .set("cells", Json::number(cells))

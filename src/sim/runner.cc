@@ -57,6 +57,25 @@ runFetch(const WorkloadSpec &spec, const FetchConfig &config,
     return engine.run(model, instructions);
 }
 
+FetchStats
+runFetchStreamed(const WorkloadSpec &spec, const FetchConfig &config,
+                 uint64_t instructions, uint64_t seed)
+{
+    WorkloadModel model(spec, seed);
+    RunStream stream(model, config.l1.lineBytes, instructions);
+    FetchEngine engine(config);
+    FetchRun run;
+    while (stream.next(run))
+        engine.fetchRun(run);
+    engine.noteStreamRuns(stream.runsEmitted());
+    if (obs::Registry::global().enabled()) {
+        obs::Registry::global().add("workload.model.runs_emitted",
+                                    stream.runsEmitted());
+        engine.publishCounters(obs::Registry::global());
+    }
+    return engine.stats();
+}
+
 SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
                          uint64_t instructions_per_workload)
     : SuiteTraces(suite, instructions_per_workload, traceCacheDir(), 0)
@@ -67,13 +86,25 @@ SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
                          uint64_t instructions_per_workload,
                          const std::string &cache_dir, unsigned threads,
                          bool log_cache_hits)
-    : requested_(instructions_per_workload)
+    : requested_(instructions_per_workload),
+      // The on-disk cache persists flat traces, so pointing at a
+      // cache directory opts into the materialized pipeline (class
+      // comment); otherwise IBS_STREAM_GEN=0 is the only way back.
+      streaming_(cache_dir.empty() && streamingGeneration()),
+      cacheDir_(cache_dir), logCacheHits_(log_cache_hits),
+      specs_(suite)
 {
     names_.reserve(suite.size());
     for (const WorkloadSpec &spec : suite)
         names_.push_back(spec.name);
     traces_.resize(suite.size());
     fromCache_.assign(suite.size(), 0);
+    flatSlots_.reserve(suite.size());
+    for (size_t i = 0; i < suite.size(); ++i)
+        flatSlots_.push_back(std::make_unique<FlatSlot>());
+
+    if (streaming_)
+        return; // Generation is deferred to runTrace()/addresses().
 
     if (threads == 0)
         threads = sweepThreads();
@@ -82,45 +113,55 @@ SuiteTraces::SuiteTraces(const std::vector<WorkloadSpec> &suite,
     // slot, so results are identical to the old serial loop for any
     // worker count.
     parallelFor(suite.size(), threads, [&](size_t i) {
-        const WorkloadSpec &spec = suite[i];
-        obs::ScopedTimer timer("materialize " + spec.name, "workload");
-        const TraceCacheKey key{spec.name, spec.seed,
-                                instructions_per_workload,
-                                kTraceModelVersion};
-        std::vector<uint64_t> addrs;
-        if (!cache_dir.empty() &&
-            loadCachedTrace(cache_dir, key, addrs)) {
-            fromCache_[i] = 1;
-            if (log_cache_hits) {
-                obs::log(obs::LogLevel::Info,
-                         "trace cache hit for %s (%zu instructions)",
-                         spec.name.c_str(), addrs.size());
-            }
-        } else {
-            WorkloadModel model(spec);
-            addrs.reserve(instructions_per_workload);
-            TraceRecord rec;
-            while (addrs.size() < instructions_per_workload &&
-                   model.next(rec)) {
-                if (rec.isInstr())
-                    addrs.push_back(rec.vaddr);
-            }
-            if (!cache_dir.empty())
-                storeCachedTrace(cache_dir, key, addrs);
-        }
-        if (addrs.size() < instructions_per_workload) {
-            // Every materialization of a short workload hits this;
-            // one warning per workload is enough.
-            obs::logOnce(obs::LogLevel::Warn,
-                         "short-trace:" + spec.name,
-                         "workload %s drained after %zu of %llu "
-                         "instructions; its trace is short",
-                         spec.name.c_str(), addrs.size(),
-                         static_cast<unsigned long long>(
-                             instructions_per_workload));
-        }
-        traces_[i] = std::move(addrs);
+        std::call_once(flatSlots_[i]->once,
+                       [&] { materializeFlat(i); });
     });
+}
+
+void
+SuiteTraces::materializeFlat(size_t i) const
+{
+    const WorkloadSpec &spec = specs_[i];
+    obs::ScopedTimer timer("materialize " + spec.name, "workload");
+    const TraceCacheKey key{spec.name, spec.seed, requested_,
+                            kTraceModelVersion};
+    std::vector<uint64_t> addrs;
+    if (!cacheDir_.empty() && loadCachedTrace(cacheDir_, key, addrs)) {
+        fromCache_[i] = 1;
+        if (logCacheHits_) {
+            obs::log(obs::LogLevel::Info,
+                     "trace cache hit for %s (%zu instructions)",
+                     spec.name.c_str(), addrs.size());
+        }
+    } else {
+        WorkloadModel model(spec);
+        addrs.reserve(requested_);
+        TraceRecord rec;
+        while (addrs.size() < requested_ && model.next(rec)) {
+            if (rec.isInstr())
+                addrs.push_back(rec.vaddr);
+        }
+        if (!cacheDir_.empty())
+            storeCachedTrace(cacheDir_, key, addrs);
+    }
+    if (addrs.size() < requested_) {
+        // Every materialization of a short workload hits this;
+        // one warning per workload is enough.
+        obs::logOnce(obs::LogLevel::Warn, "short-trace:" + spec.name,
+                     "workload %s drained after %zu of %llu "
+                     "instructions; its trace is short",
+                     spec.name.c_str(), addrs.size(),
+                     static_cast<unsigned long long>(requested_));
+    }
+    traces_[i] = std::move(addrs);
+    flatSlots_[i]->built.store(true, std::memory_order_release);
+}
+
+const std::vector<uint64_t> &
+SuiteTraces::addresses(size_t i) const
+{
+    std::call_once(flatSlots_[i]->once, [&] { materializeFlat(i); });
+    return traces_[i];
 }
 
 size_t
@@ -139,6 +180,13 @@ SuiteTraces::scalarFetchForced()
     return env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
 }
 
+bool
+SuiteTraces::streamingGeneration()
+{
+    const char *env = std::getenv("IBS_STREAM_GEN");
+    return !(env && env[0] == '0' && env[1] == '\0');
+}
+
 const RunTrace &
 SuiteTraces::runTrace(size_t i, uint32_t line_bytes) const
 {
@@ -155,12 +203,53 @@ SuiteTraces::runTrace(size_t i, uint32_t line_bytes) const
     // the same key rendezvous on the entry's once_flag, callers for
     // other keys proceed independently.
     std::call_once(entry->once, [&] {
-        obs::ScopedTimer timer("compress " + names_[i] + " line" +
-                                   std::to_string(line_bytes),
-                               "run_trace");
-        entry->trace = compressRuns(traces_[i], line_bytes);
+        if (streaming_ && !flatBuilt(i)) {
+            // Generate runs straight from the workload model — the
+            // flat 8-bytes-per-instruction vector never exists. Cuts
+            // match compressRuns exactly (run_stream.h), so the memo
+            // entry is bit-identical either way.
+            obs::ScopedTimer timer("stream " + names_[i] + " line" +
+                                       std::to_string(line_bytes),
+                                   "run_trace");
+            WorkloadModel model(specs_[i]);
+            entry->trace =
+                generateRunTrace(model, line_bytes, requested_);
+            if (entry->trace.instructions < requested_) {
+                obs::logOnce(
+                    obs::LogLevel::Warn, "short-trace:" + names_[i],
+                    "workload %s drained after %llu of %llu "
+                    "instructions; its trace is short",
+                    names_[i].c_str(),
+                    static_cast<unsigned long long>(
+                        entry->trace.instructions),
+                    static_cast<unsigned long long>(requested_));
+            }
+        } else {
+            obs::ScopedTimer timer("compress " + names_[i] + " line" +
+                                       std::to_string(line_bytes),
+                                   "run_trace");
+            entry->trace = compressRuns(addresses(i), line_bytes);
+        }
+        entry->built.store(true, std::memory_order_release);
     });
     return entry->trace;
+}
+
+uint64_t
+SuiteTraces::retainedTraceBytes() const
+{
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < traces_.size(); ++i) {
+        if (flatBuilt(i))
+            bytes += traces_[i].size() * sizeof(uint64_t);
+    }
+    std::lock_guard<std::mutex> lock(runTraceMutex_);
+    for (const auto &kv : runTraces_) {
+        const RunEntry &entry = *kv.second;
+        if (entry.built.load(std::memory_order_acquire))
+            bytes += entry.trace.bytes();
+    }
+    return bytes;
 }
 
 size_t
@@ -174,16 +263,33 @@ FetchStats
 SuiteTraces::runOne(size_t i, const FetchConfig &config) const
 {
     FetchEngine engine(config);
+    bool streamed_replay = false;
+    uint64_t runs_replayed = 0;
     if (scalarFetchForced()) {
-        for (uint64_t addr : traces_[i])
+        // Needs the flat trace; in streaming mode this materializes
+        // it lazily (A/B escape hatches pay for what they use).
+        for (uint64_t addr : addresses(i))
             engine.fetch(addr);
     } else {
         const RunTrace &runs = runTrace(i, config.l1.lineBytes);
         for (const FetchRun &run : runs.runs)
             engine.fetchRun(run);
+        streamed_replay = streaming_;
+        runs_replayed = runs.runs.size();
     }
-    if (obs::Registry::global().enabled())
+    if (streamed_replay)
+        engine.noteStreamRuns(runs_replayed);
+    if (obs::Registry::global().enabled()) {
+        // Published per replay, not per run-trace build: the memo
+        // makes builds happen once per (workload, lineBytes), which
+        // would leave warm sweeps without the counter and break
+        // thread-count invariance of the snapshot.
+        if (streamed_replay) {
+            obs::Registry::global().add("workload.model.runs_emitted",
+                                        runs_replayed);
+        }
         engine.publishCounters(obs::Registry::global());
+    }
     return engine.stats();
 }
 

@@ -12,6 +12,7 @@
 #ifndef IBS_SIM_RUNNER_H
 #define IBS_SIM_RUNNER_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "trace/run_trace.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
+#include "workload/run_stream.h"
 
 namespace ibs {
 
@@ -47,17 +49,40 @@ FetchStats runFetch(const WorkloadSpec &spec, const FetchConfig &config,
                     uint64_t instructions, uint64_t seed = 0);
 
 /**
- * Pre-generated instruction traces for a suite of workloads.
+ * As runFetch, but zero-materialization: FetchRuns stream from the
+ * workload model straight into FetchEngine::fetchRun
+ * (workload/run_stream.h) with no address vector and no stored
+ * RunTrace — peak trace memory is O(1) regardless of length.
+ * Simulated statistics are bit-identical to the materialized paths.
+ * Instruction fetches only: data references are not replayed
+ * (matching SuiteTraces replay semantics, not runFetch's
+ * engine.run, which feeds dataTouch). Publishes the engine's
+ * counters plus workload.model.runs_emitted when the obs registry
+ * is enabled.
+ */
+FetchStats runFetchStreamed(const WorkloadSpec &spec,
+                            const FetchConfig &config,
+                            uint64_t instructions, uint64_t seed = 0);
+
+/**
+ * Instruction traces for a suite of workloads, held run-compressed.
  *
- * Materialization — the expensive workload random walk — runs one
- * workload per worker on the shared sim/parallel.h pool, and is
- * skipped entirely for workloads whose trace is already in the
- * on-disk cache (trace/trace_cache.h, enabled by setting
- * IBS_TRACE_CACHE_DIR): the trace is then decoded from its IBST file
- * instead of regenerated, with checksum validation and silent
- * regeneration on any mismatch. Either path yields bit-identical
- * traces; a cache hit logs one line on stderr so warm runs are
- * observable.
+ * By default generation is *streaming* (workload/run_stream.h): the
+ * run-length trace each sweep cell replays is generated straight
+ * from the workload model, memoized per (workload, lineBytes), and
+ * the flat address vector — 8 bytes per instruction, the dominant
+ * memory cost and an extra encode pass — is never materialized.
+ * Setting IBS_STREAM_GEN=0 restores the materialize-then-compress
+ * pipeline (flat traces built eagerly at construction, one workload
+ * per worker on the shared sim/parallel.h pool). Both modes yield
+ * bit-identical run traces and simulated statistics.
+ *
+ * The on-disk trace cache (trace/trace_cache.h, enabled by setting
+ * IBS_TRACE_CACHE_DIR) stores *flat* traces, so passing a cache
+ * directory opts the suite into the materialized pipeline: traces
+ * already cached are decoded from their IBST files with checksum
+ * validation and silent regeneration on any mismatch, and a cache
+ * hit logs one line on stderr so warm runs are observable.
  *
  * Replay uses the run-length compressed fast path by default: runOne
  * drives FetchEngine::fetchRun over the workload's RunTrace
@@ -67,14 +92,16 @@ FetchStats runFetch(const WorkloadSpec &spec, const FetchConfig &config,
  * read-only by every sweep cell with that line size. Simulated
  * statistics are bit-identical to the scalar path; setting
  * IBS_FETCH_SCALAR=1 forces the old per-instruction loop for A/B
- * comparison.
+ * comparison (in streaming mode the flat trace it needs is then
+ * materialized lazily).
  *
- * Thread-safety: the stored flat traces are immutable after
- * construction, and the run-trace memo is guarded by a mutex with
- * each entry built exactly once (std::call_once), so any number of
- * threads may call the const members (runOne, runSuite, addresses,
- * runTrace, ...) concurrently on one shared instance. sim/sweep.h
- * relies on this to fan a config grid out across workers.
+ * Thread-safety: flat traces and run-trace memo entries are each
+ * built exactly once behind a std::once_flag (lazily in streaming
+ * mode, eagerly at construction otherwise) and are immutable
+ * afterwards, so any number of threads may call the const members
+ * (runOne, runSuite, addresses, runTrace, ...) concurrently on one
+ * shared instance. sim/sweep.h relies on this to fan a config grid
+ * out across workers.
  */
 class SuiteTraces
 {
@@ -105,14 +132,17 @@ class SuiteTraces
                 const std::string &cache_dir, unsigned threads,
                 bool log_cache_hits = true);
 
-    size_t count() const { return traces_.size(); }
+    size_t count() const { return specs_.size(); }
     const std::string &name(size_t i) const { return names_[i]; }
 
-    /** Instruction addresses of workload `i`. */
-    const std::vector<uint64_t> &addresses(size_t i) const
-    {
-        return traces_[i];
-    }
+    /**
+     * Instruction addresses of workload `i`. In streaming mode the
+     * flat vector is not built at construction; the first caller
+     * pays the materialization (callers that only replay through
+     * runOne/runTrace never do). The returned reference stays valid
+     * for the lifetime of this SuiteTraces.
+     */
+    const std::vector<uint64_t> &addresses(size_t i) const;
 
     /** Trace length requested at construction. */
     uint64_t instructionsRequested() const { return requested_; }
@@ -120,9 +150,28 @@ class SuiteTraces
     /**
      * Actual trace length of workload `i`. Shorter than
      * instructionsRequested() only when the workload model drained
-     * early (also warned once on stderr during construction).
+     * early (warned once on stderr at generation time). In
+     * streaming mode this is the requested length until something
+     * forces generation — the workload models never end early, so
+     * the two agree in practice.
      */
-    uint64_t length(size_t i) const { return traces_[i].size(); }
+    uint64_t length(size_t i) const
+    {
+        return flatBuilt(i) ? traces_[i].size() : requested_;
+    }
+
+    /** True when this suite generates run traces directly from the
+     *  workload model (no flat address vectors). */
+    bool streaming() const { return streaming_; }
+
+    /**
+     * Bytes of trace data currently retained: flat address vectors
+     * actually built plus finished run-trace memo entries. This is
+     * what a byte-budgeted store (serve/memo.h) charges for the
+     * suite; in streaming mode it is the compressed footprint alone,
+     * typically several times smaller than the flat traces.
+     */
+    uint64_t retainedTraceBytes() const;
 
     /** True when workload `i` was loaded from the on-disk cache. */
     bool fromCache(size_t i) const { return fromCache_[i] != 0; }
@@ -152,22 +201,51 @@ class SuiteTraces
      *  loop (read per call so tests can flip it at runtime). */
     static bool scalarFetchForced();
 
+    /** True unless IBS_STREAM_GEN=0 disables streaming generation
+     *  (read at construction; the mode is fixed per instance). */
+    static bool streamingGeneration();
+
   private:
     /** Memo slot: call_once gives build-exactly-once semantics
-     *  without holding the map mutex during compression. */
+     *  without holding the map mutex during compression. `built`
+     *  lets byte accounting skip entries still under construction. */
     struct RunEntry
     {
         std::once_flag once;
+        std::atomic<bool> built{false};
         RunTrace trace;
     };
 
+    /** Lazy flat-trace slot (streaming mode builds on demand). */
+    struct FlatSlot
+    {
+        std::once_flag once;
+        std::atomic<bool> built{false};
+    };
+
+    bool flatBuilt(size_t i) const
+    {
+        return flatSlots_[i]->built.load(std::memory_order_acquire);
+    }
+
+    /** Generate or cache-load the flat trace of workload `i`
+     *  (call_once body; writes traces_[i] / fromCache_[i]). */
+    void materializeFlat(size_t i) const;
+
     uint64_t requested_ = 0;
+    bool streaming_ = false;
+    std::string cacheDir_;
+    bool logCacheHits_ = true;
+    std::vector<WorkloadSpec> specs_;
     std::vector<std::string> names_;
-    std::vector<std::vector<uint64_t>> traces_;
+    // Lazily filled in streaming mode; mutable with per-slot
+    // once_flags so const accessors can materialize on first use.
+    mutable std::vector<std::vector<uint64_t>> traces_;
     // Per-workload flags; uint8_t, not vector<bool>, so parallel
     // workers can write distinct elements without racing on shared
     // bit-packed words.
-    std::vector<uint8_t> fromCache_;
+    mutable std::vector<uint8_t> fromCache_;
+    mutable std::vector<std::unique_ptr<FlatSlot>> flatSlots_;
 
     // (workload, lineBytes) -> lazily built run trace. unique_ptr
     // keeps entry addresses stable across map rebalancing, so the

@@ -55,6 +55,15 @@ struct RunTrace
             : static_cast<double>(instructions) /
               static_cast<double>(runs.size());
     }
+
+    /** Retained bytes of the run records (what a memo holding this
+     *  trace charges against a byte budget; the flat equivalent is
+     *  instructions * sizeof(uint64_t)). */
+    uint64_t
+    bytes() const
+    {
+        return static_cast<uint64_t>(runs.size()) * sizeof(FetchRun);
+    }
 };
 
 /**

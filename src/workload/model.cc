@@ -5,6 +5,7 @@
 
 #include "workload/model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -123,6 +124,23 @@ WorkloadModel::next(TraceRecord &rec)
         }
     }
     return true;
+}
+
+uint64_t
+WorkloadModel::nextInstrBlock(uint64_t max_count, uint64_t &start)
+{
+    assert(!spec_.data.enabled && max_count >= 1);
+    if (dwellLeft_ <= 0)
+        switchComponent();
+    Component &comp = components_[current_];
+    // The dwell budget is only inspected between instructions, so a
+    // block bounded by it can never straddle a component switch.
+    const uint64_t cap =
+        std::min(max_count, static_cast<uint64_t>(dwellLeft_));
+    const uint64_t n = comp.code->nextBlock(cap, start);
+    dwellLeft_ -= static_cast<int64_t>(n);
+    instructions_ += n;
+    return n;
 }
 
 void

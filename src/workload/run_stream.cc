@@ -1,0 +1,117 @@
+/**
+ * @file
+ * RunStream implementation.
+ */
+
+#include "workload/run_stream.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ibs {
+
+RunStream::RunStream(WorkloadModel &model, uint32_t line_bytes,
+                     uint64_t max_instructions)
+    : model_(model), lineBytes_(line_bytes),
+      lineMask_(~uint64_t{line_bytes - 1}), cap_(max_instructions),
+      perRecord_(model.spec().data.enabled)
+{
+    if (line_bytes < kInstrBytes || !std::has_single_bit(line_bytes)) {
+        throw std::invalid_argument(
+            "RunStream: line_bytes must be a power of two >= 4");
+    }
+}
+
+bool
+RunStream::refill()
+{
+    if (pulled_ >= cap_)
+        return false;
+    if (!perRecord_) {
+        blockLen_ = model_.nextInstrBlock(cap_ - pulled_, blockStart_);
+        pulled_ += blockLen_;
+        return true;
+    }
+    // Data-reference mode: the scheduler RNG is drawn per
+    // instruction, so replicate the materialization loop exactly —
+    // pull records, keep only instruction fetches.
+    TraceRecord rec;
+    while (pulled_ < cap_ && model_.next(rec)) {
+        if (!rec.isInstr())
+            continue;
+        blockStart_ = rec.vaddr;
+        blockLen_ = 1;
+        ++pulled_;
+        return true;
+    }
+    return false;
+}
+
+bool
+RunStream::next(FetchRun &run)
+{
+    for (;;) {
+        if (blockLen_ == 0 && !refill()) {
+            if (pendCount_ == 0)
+                return false;
+            run = FetchRun{pendStart_, pendCount_};
+            pendCount_ = 0;
+            emitted_ += run.count;
+            ++runs_;
+            return true;
+        }
+        if (pendCount_ != 0) {
+            // Same cut rule as compressRuns: extend only while the
+            // next address is contiguous *and* still in the line the
+            // run started in.
+            const uint64_t pend_end =
+                pendStart_ + uint64_t{pendCount_} * kInstrBytes;
+            const uint64_t run_line = pendStart_ & lineMask_;
+            if (blockStart_ == pend_end &&
+                (blockStart_ & lineMask_) == run_line) {
+                const uint64_t room =
+                    (run_line + lineBytes_ - blockStart_) /
+                    kInstrBytes;
+                const uint64_t m = std::min(blockLen_, room);
+                pendCount_ += static_cast<uint32_t>(m);
+                blockStart_ += m * kInstrBytes;
+                blockLen_ -= m;
+                continue;
+            }
+            run = FetchRun{pendStart_, pendCount_};
+            pendCount_ = 0;
+            emitted_ += run.count;
+            ++runs_;
+            return true;
+        }
+        // Start a new run at the block head, bounded by its line.
+        const uint64_t room =
+            ((blockStart_ & lineMask_) + lineBytes_ - blockStart_) /
+            kInstrBytes;
+        const uint64_t m = std::min(blockLen_, room);
+        pendStart_ = blockStart_;
+        pendCount_ = static_cast<uint32_t>(m);
+        blockStart_ += m * kInstrBytes;
+        blockLen_ -= m;
+    }
+}
+
+RunTrace
+generateRunTrace(WorkloadModel &model, uint32_t line_bytes,
+                 uint64_t max_instructions)
+{
+    RunStream stream(model, line_bytes, max_instructions);
+    RunTrace trace;
+    trace.lineBytes = line_bytes;
+    // Same conservative guess as compressRuns: traces typically
+    // compress well past 4 instructions per run.
+    trace.runs.reserve(max_instructions / 4 + 1);
+    FetchRun run;
+    while (stream.next(run))
+        trace.runs.push_back(run);
+    trace.instructions = stream.instructions();
+    return trace;
+}
+
+} // namespace ibs

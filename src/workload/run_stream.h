@@ -1,0 +1,104 @@
+/**
+ * @file
+ * RunStream: zero-materialization streaming run generation.
+ *
+ * Replaying a workload through the batched fetch path
+ * (FetchEngine::fetchRun) needs FetchRun records, not individual
+ * addresses — yet the materialize-then-compress pipeline first writes
+ * every instruction address into a flat std::vector<uint64_t> (8
+ * bytes per instruction) and then re-reads it all through
+ * compressRuns(). RunStream fuses the two: it pulls whole sequential
+ * blocks straight out of the WorkloadModel (which knows its next
+ * `runLeft` fetches are +4-contiguous, so a block costs O(1), not
+ * O(instructions)) and slices them into line-bounded runs on the
+ * fly. The flat address vector is never materialized, and the run
+ * sequence is bit-identical to
+ * compressRuns(materialized_addresses, line_bytes) — the cut rule
+ * (break on any discontinuity or line-boundary crossing) is the
+ * same, applied incrementally (differential-tested run-for-run in
+ * tests/stream_gen_diff_test.cc).
+ *
+ * Workloads with data references enabled fall back to pulling one
+ * record at a time (every instruction then draws from the scheduler
+ * RNG, so blocks cannot skip records), which still avoids the flat
+ * vector; instruction-only workloads — every suite the benches sweep
+ * — take the O(runs) block path.
+ */
+
+#ifndef IBS_WORKLOAD_RUN_STREAM_H
+#define IBS_WORKLOAD_RUN_STREAM_H
+
+#include <cstdint>
+
+#include "trace/run_trace.h"
+#include "workload/model.h"
+
+namespace ibs {
+
+/** Pull-based generator of line-bounded FetchRuns from a workload. */
+class RunStream
+{
+  public:
+    /**
+     * @param model generator to drain (not owned; reads records or
+     *        blocks from its current position)
+     * @param line_bytes cache line size the runs are cut for; must be
+     *        a power of two >= 4 (same contract as compressRuns)
+     * @param max_instructions stop after this many instructions
+     * @throws std::invalid_argument on an invalid line size
+     */
+    RunStream(WorkloadModel &model, uint32_t line_bytes,
+              uint64_t max_instructions);
+
+    /**
+     * Produce the next run.
+     *
+     * @retval false the instruction budget is exhausted (or the model
+     *         drained); no run was written
+     */
+    bool next(FetchRun &run);
+
+    /** Instructions emitted in runs so far. */
+    uint64_t instructions() const { return emitted_; }
+
+    /** Runs emitted so far (the obs counter
+     *  workload.model.runs_emitted). */
+    uint64_t runsEmitted() const { return runs_; }
+
+    uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    /** Pull the next contiguous block from the model; false at
+     *  end-of-budget. */
+    bool refill();
+
+    WorkloadModel &model_;
+    uint32_t lineBytes_;
+    uint64_t lineMask_; ///< ~(lineBytes - 1).
+    uint64_t cap_;
+    bool perRecord_; ///< Data refs enabled: pull records, not blocks.
+
+    uint64_t pulled_ = 0;  ///< Instructions drawn from the model.
+    uint64_t emitted_ = 0; ///< Instructions handed out in runs.
+    uint64_t runs_ = 0;
+
+    // Contiguous block not yet sliced into runs.
+    uint64_t blockStart_ = 0;
+    uint64_t blockLen_ = 0;
+    // Run being extended (possibly across blocks: a sequential
+    // fall-through in the walker continues the same line).
+    uint64_t pendStart_ = 0;
+    uint32_t pendCount_ = 0;
+};
+
+/**
+ * Drain a RunStream over `model` into a RunTrace — the streaming
+ * replacement for materialize-then-compressRuns. Bit-identical runs,
+ * but peak memory is the compressed trace alone.
+ */
+RunTrace generateRunTrace(WorkloadModel &model, uint32_t line_bytes,
+                          uint64_t max_instructions);
+
+} // namespace ibs
+
+#endif // IBS_WORKLOAD_RUN_STREAM_H

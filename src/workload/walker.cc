@@ -130,6 +130,29 @@ CodeWalker::next()
     return addr;
 }
 
+uint64_t
+CodeWalker::nextBlock(uint64_t max_count, uint64_t &start)
+{
+    if (runLeft_ <= 0)
+        branch();
+    // Within a run no randomness is drawn and pc advances by 4, so
+    // everything up to the run end, the procedure end, or the cap can
+    // be emitted as one block. branch() always leaves pc_ < procEnd_
+    // and runLeft_ >= 1, so n >= 1.
+    uint64_t n = static_cast<uint64_t>(runLeft_);
+    const uint64_t to_proc_end = (procEnd_ - pc_) / 4;
+    n = std::min(n, to_proc_end);
+    n = std::min(n, max_count);
+    start = pc_;
+    pc_ += 4 * n;
+    runLeft_ -= static_cast<int64_t>(n);
+    visitLeft_ -= static_cast<int64_t>(n);
+    if (pc_ >= procEnd_)
+        runLeft_ = 0; // Force a decision at the procedure boundary.
+    generated_ += n;
+    return n;
+}
+
 DataWalker::DataWalker(const DataParams &params, uint64_t base_offset,
                        Rng rng)
     : params_(params), base_(params.dataBase + base_offset), rng_(rng)

@@ -43,6 +43,23 @@ class CodeWalker
     /** Produce the next instruction-fetch virtual address. */
     uint64_t next();
 
+    /**
+     * Emit a whole sequential block in O(1): the next
+     * min(max_count, instructions until the current run or procedure
+     * ends) fetches, which are +4-contiguous starting at `start`.
+     * State afterwards — pc, run/visit budgets, RNG draw sequence,
+     * generated() — is exactly what `count` next() calls would have
+     * left, so interleaving next() and nextBlock() yields the same
+     * address stream either way (the streaming generator's
+     * bit-identity rests on this; differential-tested in
+     * tests/stream_gen_diff_test.cc).
+     *
+     * @param max_count cap on the block length; must be >= 1
+     * @param start [out] first instruction address of the block
+     * @return block length in instructions (>= 1)
+     */
+    uint64_t nextBlock(uint64_t max_count, uint64_t &start);
+
     /** Instructions generated so far. */
     uint64_t generated() const { return generated_; }
 

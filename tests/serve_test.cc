@@ -370,20 +370,34 @@ TEST(TraceMemo, EvictsColdEntriesWhenOverBudget)
                 /*log_cache_hits=*/false);
         };
     };
-    // Each entry is ~ 2 workloads * 5000 * 8 B; budget fits one.
-    TraceMemo memo(100 * 1024);
+    // A streaming suite retains almost nothing at build time; its
+    // run-trace memos accrue as cells replay it (~5000/4 runs * 16 B
+    // per workload here) and are charged by refresh(). The budget
+    // fits one replayed entry, not two.
+    TraceMemo memo(48 * 1024);
     auto a = memo.get("a", build(5000));
+    const uint64_t built_bytes = memo.stats().bytes;
+    a->runSuite(economyBaseline());
+    memo.refresh("a", *a);
+    EXPECT_GT(memo.stats().bytes, built_bytes)
+        << "replay grew the suite but refresh charged nothing";
     auto b = memo.get("b", build(5000));
+    b->runSuite(economyBaseline());
+    memo.refresh("b", *b);
     const TraceMemo::Stats stats = memo.stats();
     EXPECT_EQ(stats.entries, 1u);
     EXPECT_EQ(stats.evictions, 1u);
-    EXPECT_LE(stats.bytes, 100u * 1024);
+    EXPECT_LE(stats.bytes, 48u * 1024);
     // The evicted suite is still alive through our reference.
     EXPECT_EQ(a->count(), specs.size());
     // "b" is the survivor: getting it again is a hit.
     bool hit = false;
     memo.get("b", build(5000), &hit);
     EXPECT_TRUE(hit);
+    // Refreshing an evicted key must not resurrect or recount it.
+    memo.refresh("a", *a);
+    EXPECT_EQ(memo.stats().entries, 1u);
+    EXPECT_EQ(memo.stats().bytes, stats.bytes);
 }
 
 TEST(TraceMemo, FailedBuildIsRethrownAndRetried)

@@ -27,9 +27,12 @@
  *     and args.value), and numeric pid/tid.
  *
  *   --compare-rate <report> <prefix_a> <prefix_b> <min_ratio>
- *     Assert stats.fetches_per_second of the first cell whose
- *     workload name starts with <prefix_a> is at least <min_ratio>
- *     times that of the <prefix_b> cell. Prefix matching because
+ *     Assert the rate counter of the first cell whose workload name
+ *     starts with <prefix_a> is at least <min_ratio> times that of
+ *     the <prefix_b> cell. The rate is stats.fetches_per_second,
+ *     falling back to probes_per_second then items_per_second, so
+ *     cells measuring something other than engine fetches (the SIMD
+ *     tag-probe microbench) compare too. Prefix matching because
  *     google-benchmark appends "/min_time:..." to benchmark names.
  *     Used by scripts/check_bench_json.sh to bound the observability
  *     layer's disabled-mode overhead.
@@ -248,8 +251,9 @@ validateTraceFile(const std::string &path)
     return true;
 }
 
-/** stats.fetches_per_second of the first cell whose workload starts
- *  with `prefix`; negative when absent. */
+/** Rate counter (fetches_per_second, else probes_per_second, else
+ *  items_per_second) of the first cell whose workload starts with
+ *  `prefix`; negative when absent. */
 double
 findRate(const Json &doc, const std::string &prefix,
          const std::string &path)
@@ -266,14 +270,20 @@ findRate(const Json &doc, const std::string &prefix,
             workload->asString().rfind(prefix, 0) != 0)
             continue;
         const Json *stats = cell.find("stats");
-        const Json *rate =
-            stats && stats->isObject()
-                ? stats->find("fetches_per_second")
-                : nullptr;
+        const Json *rate = nullptr;
+        if (stats && stats->isObject()) {
+            for (const char *name :
+                 {"fetches_per_second", "probes_per_second",
+                  "items_per_second"}) {
+                rate = stats->find(name);
+                if (rate && rate->isNumber())
+                    break;
+            }
+        }
         if (!rate || !rate->isNumber()) {
             fail(path, "cell \"" + workload->asString() +
-                           "\" has no numeric "
-                           "stats.fetches_per_second");
+                           "\" has no numeric rate counter "
+                           "(fetches/probes/items_per_second)");
             return -1.0;
         }
         return rate->asNumber();
