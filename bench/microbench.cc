@@ -453,11 +453,14 @@ BENCHMARK(BM_RunCompression)
  *   mode 1  ScopedTimer + publication gate, registry disabled
  *   mode 2  registry enabled, counters published per run
  *   mode 3  registry enabled + an active TraceEventSink
+ *   mode 4  registry enabled, counters + a histogram observation
+ *           per run (the sweep executor's sim.cell.instructions
+ *           publication pattern)
  *
  * One iteration = one fresh FetchEngine over the whole shared trace,
  * matching how sweep cells run. perf_smoke asserts mode 1 regresses
  * mode 0 by at most 10% (the disabled layer is supposed to be free);
- * modes 2 and 3 document the enabled cost. MinTime overrides the
+ * modes 2-4 document the enabled cost. MinTime overrides the
  * CLI's tiny perf_smoke window so the ratio is measured, not noise.
  */
 void
@@ -485,8 +488,12 @@ BM_ObsOverhead(benchmark::State &state)
             for (uint64_t a : addrs)
                 engine.fetch(a);
             timer.stop();
-            if (reg.enabled())
+            if (reg.enabled()) {
                 engine.publishCounters(reg);
+                if (mode == 4)
+                    reg.observe("microbench.cell.instructions",
+                                engine.stats().instructions);
+            }
         }
         benchmark::DoNotOptimize(engine.stats().l1Misses);
     }
@@ -509,6 +516,7 @@ BENCHMARK(BM_ObsOverhead)
     ->Arg(1)
     ->Arg(2)
     ->Arg(3)
+    ->Arg(4)
     ->MinTime(0.25);
 
 /** Instructions materialized per workload in the cold/warm pair;

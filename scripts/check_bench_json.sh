@@ -49,10 +49,38 @@ fi
 # The microbench carries several rate comparisons. Prefix matching —
 # MinTime suffixes the benchmark names.
 if [ "$bench_name" = "microbench" ]; then
-    # Hard gate: the disabled observability layer (mode:1) must stay
-    # within 10% of the plain loop (mode:0).
-    "$validator" --compare-rate "$report" \
-        "BM_ObsOverhead/mode:1" "BM_ObsOverhead/mode:0" 0.90
+    # Hard gates, retried: both ObsOverhead ratios compare two
+    # quarter-second timing windows, and a CPU-frequency dip or noisy
+    # neighbor during exactly one of them can sink an otherwise-true
+    # ratio below the floor. A genuine regression fails every rerun;
+    # noise does not survive three.
+    attempt=1
+    while true; do
+        gates_ok=1
+        # The disabled observability layer (mode:1) must stay within
+        # 10% of the plain loop (mode:0).
+        "$validator" --compare-rate "$report" \
+            "BM_ObsOverhead/mode:1" "BM_ObsOverhead/mode:0" 0.90 \
+            || gates_ok=0
+        # Adding a histogram observation per cell (mode:4) on top of
+        # enabled counters (mode:2) must also stay within 10% — one
+        # observe per engine run is a handful of arithmetic ops.
+        "$validator" --compare-rate "$report" \
+            "BM_ObsOverhead/mode:4" "BM_ObsOverhead/mode:2" 0.90 \
+            || gates_ok=0
+        [ "$gates_ok" -eq 1 ] && break
+        if [ "$attempt" -ge 3 ]; then
+            echo "FAIL: ObsOverhead rate floor missed on all" \
+                 "$attempt attempts" >&2
+            exit 1
+        fi
+        attempt=$((attempt + 1))
+        echo "WARN: ObsOverhead rate floor missed; remeasuring" \
+             "(attempt $attempt)" >&2
+        IBS_BENCH_INSTR=20000 IBS_BENCH_JSON_DIR="$workdir" \
+            "$bench" "$@" > "$workdir/text_output.txt"
+        "$validator" --min-schema 2 "$report"
+    done
     # Warn-only: the batched run-length fetch path should beat the
     # scalar per-instruction loop by >=1.5x on a Release build (see
     # EXPERIMENTS.md "Run-length fetch path"). Throughput under a CI

@@ -4,25 +4,31 @@
 #   1. bench: run bench/server_bench (in-process server) and validate
 #      the BENCH_server.json it writes (schema + cells present);
 #   2. serve: start tools/ibs_serve with obs tracing on, drive it
-#      with tools/ibs_loadgen, then SIGINT it mid-service and require
-#      a clean drain — exit status 0 and a trace file that validates
-#      as Perfetto traceEvents JSON.
+#      with tools/ibs_loadgen (--check: server-side histogram
+#      percentiles must agree with the client's clocks), scrape the
+#      metrics endpoint with tools/ibs_stat and validate the
+#      Prometheus exposition text, then SIGINT the server
+#      mid-service and require a clean drain — exit status 0 and a
+#      trace file that validates as Perfetto traceEvents JSON,
+#      including one async request span whose flow steps cross pool
+#      threads (the server runs with IBS_THREADS=4 so cells fan out
+#      even on a single-core machine).
 #
 # Usage: check_server.sh <ibs_serve> <ibs_loadgen> <server_bench> \
-#            <validate_bench_json>
+#            <validate_bench_json> <ibs_stat>
 #
 # Wired in as the "server_check" ctest (tests/CMakeLists.txt); also
 # runnable by hand from a build tree:
 #
 #   scripts/check_server.sh build/tools/ibs_serve \
 #       build/tools/ibs_loadgen build/bench/server_bench \
-#       build/tools/validate_bench_json
+#       build/tools/validate_bench_json build/tools/ibs_stat
 
 set -eu
 
-if [ "$#" -ne 4 ]; then
+if [ "$#" -ne 5 ]; then
     echo "usage: $0 <ibs_serve> <ibs_loadgen> <server_bench>" \
-         "<validator>" >&2
+         "<validator> <ibs_stat>" >&2
     exit 2
 fi
 
@@ -30,6 +36,7 @@ serve="$1"
 loadgen="$2"
 bench="$3"
 validator="$4"
+stat="$5"
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/ibs_server.XXXXXX")
 trap 'rm -rf "$workdir"' EXIT INT TERM
@@ -47,8 +54,10 @@ for grid in latency throughput; do
 done
 
 # --- 2. The standalone server drains cleanly on SIGINT. ------------
+# IBS_THREADS=4: the cross-thread flow check below needs a worker
+# pool even when the host reports one core.
 env -u IBS_PROGRESS \
-    IBS_SERVE_PORT=0 IBS_OBS=1 \
+    IBS_SERVE_PORT=0 IBS_OBS=1 IBS_THREADS=4 \
     IBS_OBS_TRACE="$workdir/serve_trace.json" \
     "$serve" > "$workdir/serve.out" 2> "$workdir/serve.err" &
 serve_pid=$!
@@ -72,14 +81,44 @@ if [ -z "$port" ]; then
     exit 1
 fi
 
+# --check: the server's sweep-latency histogram must agree with the
+# client-side percentiles of the same requests (within one log2
+# bucket at p50/p99). One connection on purpose: queueing ahead of
+# the server's frame read — inevitable for concurrent clients on a
+# busy core — is visible only to the client clock, so the
+# comparison is meaningful for sequential requests.
+"$loadgen" --port "$port" --connections 1 --requests-per-conn 4 \
+    --suite ibs_mach --configs economy,high_performance \
+    --workloads gs.mach,nroff.mach --instructions 20000 \
+    --check > "$workdir/loadgen.out"
+
+if ! grep -q 'failed=0' "$workdir/loadgen.out"; then
+    echo "FAIL: loadgen --check reported failures" >&2
+    cat "$workdir/loadgen.out" >&2
+    exit 1
+fi
+
+# Concurrent load (no --check; see above), the shape the SIGINT
+# drain below interrupts.
 "$loadgen" --port "$port" --connections 2 --requests-per-conn 2 \
     --suite ibs_mach --configs economy,high_performance \
     --workloads gs.mach,nroff.mach --instructions 20000 \
-    > "$workdir/loadgen.out"
+    > "$workdir/loadgen_load.out"
 
-if ! grep -q 'failed=0' "$workdir/loadgen.out"; then
+if ! grep -q 'failed=0' "$workdir/loadgen_load.out"; then
     echo "FAIL: loadgen reported failures" >&2
-    cat "$workdir/loadgen.out" >&2
+    cat "$workdir/loadgen_load.out" >&2
+    exit 1
+fi
+
+# The metrics endpoint serves well-formed Prometheus exposition text
+# and ibs_stat renders its one-liner from it.
+"$stat" --port "$port" --raw > "$workdir/metrics.txt"
+"$validator" --prom "$workdir/metrics.txt"
+"$stat" --port "$port" --once > "$workdir/stat.out"
+if ! grep -q 'req/s' "$workdir/stat.out"; then
+    echo "FAIL: ibs_stat printed no req/s line" >&2
+    cat "$workdir/stat.out" >&2
     exit 1
 fi
 
@@ -115,6 +154,9 @@ if [ ! -f "$workdir/serve_trace.json" ]; then
     exit 1
 fi
 "$validator" --trace "$workdir/serve_trace.json"
+# Request spans are async ("b"/"e") with flow steps that must cross
+# at least two pool threads for at least one sweep.
+"$validator" --trace-flow 2 "$workdir/serve_trace.json"
 
 if ! grep -q 'served' "$workdir/serve.err"; then
     echo "FAIL: ibs_serve summary line missing" >&2

@@ -5,6 +5,7 @@
 
 #include "obs/registry.h"
 
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 
@@ -26,7 +27,49 @@ envEnabled()
     return false;
 }
 
+/** Log2 bucket index (values 0 and 1 share bucket 0). */
+size_t
+bucketOf(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<size_t>(std::bit_width(value) - 1);
+}
+
+/** Upper inclusive edge of bucket k: 2^(k+1)-1 (saturating). */
+uint64_t
+bucketUpperEdge(size_t k)
+{
+    if (k + 1 >= 64)
+        return UINT64_MAX;
+    return (uint64_t{1} << (k + 1)) - 1;
+}
+
 } // namespace
+
+uint64_t
+log2BucketUpperEdge(uint64_t value)
+{
+    return bucketUpperEdge(bucketOf(value));
+}
+
+uint64_t
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    const double target = q * static_cast<double>(count);
+    double acc = 0.0;
+    // Only an occupied bucket can satisfy the quantile: with q = 0
+    // the target is 0 and "acc >= target" would hold at an empty
+    // leading bucket otherwise (LinearHistogram::percentile rule).
+    for (size_t k = 0; k < counts.size(); ++k) {
+        acc += static_cast<double>(counts[k]);
+        if (counts[k] > 0 && acc >= target)
+            return bucketUpperEdge(k);
+    }
+    return UINT64_MAX; // The mass lies in the overflow bin.
+}
 
 Registry::Registry()
 {
@@ -75,11 +118,27 @@ Registry::gaugeMax(const std::string &name, uint64_t value)
         slot = value;
 }
 
-std::map<std::string, uint64_t>
-Registry::snapshot() const
+void
+Registry::observe(const std::string &name, uint64_t value)
 {
-    std::map<std::string, uint64_t> counters;
-    std::map<std::string, uint64_t> gauges;
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    HistShard &hist = shard.histograms[name];
+    const size_t k = bucketOf(value);
+    if (k >= hist.counts.size())
+        ++hist.overflow;
+    else
+        ++hist.counts[k];
+    hist.sum += value;
+    ++hist.count;
+}
+
+void
+Registry::snapshotParts(std::map<std::string, uint64_t> &counters,
+                        std::map<std::string, uint64_t> &gauges) const
+{
+    counters.clear();
+    gauges.clear();
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> shard_lock(shard->mutex);
@@ -91,18 +150,80 @@ Registry::snapshot() const
                 slot = value;
         }
     }
-    // Fold gauges in; a counter under the same name wins (documented).
+}
+
+std::map<std::string, uint64_t>
+Registry::snapshot() const
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, uint64_t> gauges;
+    snapshotParts(counters, gauges);
+    // Fold gauges in; a counter under the same name wins (documented
+    // collision rule).
     for (const auto &[name, value] : gauges)
         counters.emplace(name, value);
     return counters;
 }
 
+std::map<std::string, HistogramSnapshot>
+Registry::snapshotHistograms() const
+{
+    std::map<std::string, HistogramSnapshot> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, hist] : shard->histograms) {
+            HistogramSnapshot &merged = out[name];
+            for (size_t k = 0; k < hist.counts.size(); ++k)
+                merged.counts[k] += hist.counts[k];
+            merged.overflow += hist.overflow;
+            merged.sum += hist.sum;
+            merged.count += hist.count;
+        }
+    }
+    return out;
+}
+
 Json
 Registry::snapshotJson() const
 {
+    // Build into a map first so histogram-derived keys land in
+    // lexicographic order next to the counters, with the same
+    // counter-wins emplace rule as snapshot().
+    std::map<std::string, uint64_t> flat = snapshot();
+    for (const auto &[name, hist] : snapshotHistograms()) {
+        flat.emplace(name + ".count", hist.count);
+        flat.emplace(name + ".sum", hist.sum);
+    }
     Json obj = Json::object();
-    for (const auto &[name, value] : snapshot())
+    for (const auto &[name, value] : flat)
         obj.set(name, Json::number(value));
+    return obj;
+}
+
+Json
+Registry::histogramsJson() const
+{
+    Json obj = Json::object();
+    for (const auto &[name, hist] : snapshotHistograms()) {
+        Json buckets = Json::object();
+        for (size_t k = 0; k < hist.counts.size(); ++k) {
+            if (hist.counts[k] == 0)
+                continue;
+            buckets.set(std::to_string(bucketUpperEdge(k)),
+                        Json::number(hist.counts[k]));
+        }
+        Json entry = Json::object()
+                         .set("count", Json::number(hist.count))
+                         .set("sum", Json::number(hist.sum))
+                         .set("p50", Json::number(hist.quantile(0.50)))
+                         .set("p90", Json::number(hist.quantile(0.90)))
+                         .set("p99", Json::number(hist.quantile(0.99)))
+                         .set("buckets", std::move(buckets));
+        if (hist.overflow)
+            entry.set("overflow", Json::number(hist.overflow));
+        obj.set(name, std::move(entry));
+    }
     return obj;
 }
 
@@ -114,6 +235,7 @@ Registry::reset()
         std::lock_guard<std::mutex> shard_lock(shard->mutex);
         shard->counters.clear();
         shard->gauges.clear();
+        shard->histograms.clear();
     }
 }
 

@@ -1,27 +1,49 @@
 /**
  * @file
- * Hierarchical counter/gauge registry.
+ * Hierarchical counter/gauge/histogram registry.
  *
  * Simulation components (Cache, VictimCache, SubBlockCache,
  * StreamBuffer, FetchEngine, Tlb, the trace cache) publish their
  * event counts here so long runs are observable without perturbing
- * the experiment. Names follow `component.instance.event`
- * (e.g. "cache.l1.misses", "trace_cache.load.hit").
+ * the experiment, and the serving layer (src/serve) records its
+ * request telemetry through the same surface. Names follow
+ * `component.instance.event` (e.g. "cache.l1.misses",
+ * "serve.request.latency_us").
  *
- * Concurrency model: each thread writes to its own shard; snapshot()
- * merges every shard under the registry lock. Counters merge by
- * addition and gauges by maximum — both commutative and associative —
- * so for a fixed experiment the merged snapshot is bit-identical
- * regardless of how many worker threads ran it or how the scheduler
- * assigned the work (the same guarantee the sweep executor makes for
- * FetchStats). Publishers must therefore only record values that are
- * themselves scheduling-independent; anything derived from thread
- * count or wall-clock belongs in timing/trace output, not here.
+ * Three metric classes:
+ *
+ *  - counters: add(name, delta); shards merge by addition;
+ *  - gauges: gaugeMax(name, value); shards merge by maximum;
+ *  - histograms: observe(name, value); fixed power-of-two buckets
+ *    (bucket k holds [2^k, 2^(k+1)), values 0 and 1 share bucket 0 —
+ *    the stats/histogram.h Log2Histogram rule), values past
+ *    kHistogramBuckets land in a dedicated overflow bin; shards
+ *    merge by per-bucket addition.
+ *
+ * Concurrency model: each thread writes to its own shard; snapshots
+ * merge every shard under the registry lock. All three merges are
+ * commutative and associative, so for a fixed set of observations
+ * the merged snapshot is bit-identical regardless of how many worker
+ * threads ran it or how the scheduler assigned the work (the same
+ * guarantee the sweep executor makes for FetchStats). *Simulation*
+ * publishers must therefore only record values that are themselves
+ * scheduling-independent; anything derived from thread count or
+ * wall-clock belongs in timing/trace output or in the explicitly
+ * timing-domain `serve.*` namespace, whose latency histograms are
+ * recorded by the server and are exempt from the bit-identical
+ * contract (the merge is still deterministic given the same
+ * observations — the observations themselves are wall-clock).
+ *
+ * Name collisions across classes: the three metric classes keep
+ * separate per-shard maps, so one name can in principle exist as
+ * all three. Flattened views resolve collisions deterministically —
+ * see snapshot() and snapshotJson().
  *
  * The registry is off by default. It turns on when IBS_OBS=1 or
  * IBS_OBS_TRACE is set (see obs/trace_sink.h), or programmatically
- * via setEnabled(). Publishers gate on enabled() — a single relaxed
- * atomic load — so a disabled registry costs one branch per
+ * via setEnabled() (the sweep server does — an unobservable server
+ * cannot be operated). Publishers gate on enabled() — a single
+ * relaxed atomic load — so a disabled registry costs one branch per
  * *publication site* (component teardown), and nothing at all on the
  * per-fetch hot path.
  */
@@ -29,6 +51,7 @@
 #ifndef IBS_OBS_REGISTRY_H
 #define IBS_OBS_REGISTRY_H
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -41,7 +64,48 @@
 
 namespace ibs::obs {
 
-/** Process-wide counter/gauge registry with per-thread shards. */
+/** Log2 buckets per histogram (exponents 0..kHistogramBuckets-1);
+ *  values >= 2^kHistogramBuckets land in the overflow bin. 41
+ *  matches the stats/histogram.h Log2Histogram default. */
+constexpr size_t kHistogramBuckets = 41;
+
+/** Merged view of one histogram across all shards. */
+struct HistogramSnapshot
+{
+    std::array<uint64_t, kHistogramBuckets> counts{};
+    uint64_t overflow = 0; ///< Observations >= 2^kHistogramBuckets.
+    uint64_t sum = 0;      ///< Sum of the exact observed values.
+    uint64_t count = 0;    ///< Total observations (incl. overflow).
+
+    /**
+     * Upper (inclusive) edge of the lowest *occupied* bucket whose
+     * cumulative mass reaches fraction q of the total: bucket k
+     * resolves to 2^(k+1)-1 (bucket 0, holding values 0 and 1,
+     * resolves to 1). When the requested mass lies entirely in the
+     * overflow bin — or the histogram is empty — returns UINT64_MAX
+     * ("beyond the tracked range") or 0 respectively. Same
+     * conservative upper-edge semantics as
+     * LinearHistogram::percentile: the true quantile v satisfies
+     * v <= quantile(q) < 2*v, so bucket resolution bounds the error
+     * to under one octave.
+     */
+    uint64_t quantile(double q) const;
+
+    bool operator==(const HistogramSnapshot &o) const
+    {
+        return counts == o.counts && overflow == o.overflow &&
+            sum == o.sum && count == o.count;
+    }
+};
+
+/** Upper (inclusive) edge of the log2 bucket that would hold
+ *  `value`: 1 for values 0 and 1, else 2^(bit_width(value))-1.
+ *  Clients bucketize their own exact measurements with this before
+ *  comparing against a histogram quantile, so agreement checks run
+ *  at bucket resolution on both sides. */
+uint64_t log2BucketUpperEdge(uint64_t value);
+
+/** Process-wide metric registry with per-thread shards. */
 class Registry
 {
   public:
@@ -68,19 +132,54 @@ class Registry
     /** Raise gauge `name` to at least `value` (merged by max). */
     void gaugeMax(const std::string &name, uint64_t value);
 
+    /** Record one observation into histogram `name` in this
+     *  thread's shard (log2 bucket; see kHistogramBuckets). */
+    void observe(const std::string &name, uint64_t value);
+
     /**
-     * Deterministic merged view: counters summed and gauges maxed
-     * across all shards, keys in lexicographic order. Counter and
-     * gauge namespaces must not overlap (a name used as both keeps
-     * the counter sum).
+     * Deterministic merged view of counters and gauges: counters
+     * summed and gauges maxed across all shards, keys in
+     * lexicographic order. Collision rule: the counter and gauge
+     * namespaces must not overlap — a name used as both keeps the
+     * counter sum and the gauge value is dropped (tested by
+     * obs_test.cc:CounterWinsNameCollisions). Histograms never
+     * appear here; see snapshotHistograms().
      */
     std::map<std::string, uint64_t> snapshot() const;
 
-    /** snapshot() as a JSON object (keys already sorted). */
+    /**
+     * The same merged view with the two classes kept apart (the
+     * Prometheus renderer needs the class to emit # TYPE lines).
+     * Unlike snapshot(), no collision folding happens: a name used
+     * as both classes appears in both maps.
+     */
+    void snapshotParts(std::map<std::string, uint64_t> &counters,
+                       std::map<std::string, uint64_t> &gauges) const;
+
+    /** Deterministic merged histograms (per-bucket sums), keys in
+     *  lexicographic order. */
+    std::map<std::string, HistogramSnapshot>
+    snapshotHistograms() const;
+
+    /**
+     * snapshot() as a flat all-numeric JSON object (keys already
+     * sorted), plus two derived keys per histogram: `<name>.count`
+     * and `<name>.sum`. The counter-wins collision rule extends
+     * here: a counter or gauge already holding one of those derived
+     * names keeps its value and the histogram's summary key is
+     * dropped. Bucket detail is available via histogramsJson().
+     */
     Json snapshotJson() const;
 
-    /** Zero every shard (tests, microbench repetitions). Thread
-     *  shards stay registered, so concurrent publishers are safe. */
+    /** Histograms as a JSON object: one member per histogram with
+     *  count, sum, p50/p90/p99 (bucket upper edges; see
+     *  HistogramSnapshot::quantile) and the non-zero buckets as a
+     *  {"<upper edge>": count} object. */
+    Json histogramsJson() const;
+
+    /** Zero every shard — counters, gauges and histograms (tests,
+     *  microbench repetitions). Thread shards stay registered, so
+     *  concurrent publishers are safe. */
     void reset();
 
     Registry(const Registry &) = delete;
@@ -89,11 +188,21 @@ class Registry
   private:
     Registry();
 
+    /** Per-shard histogram state; merged by element-wise addition. */
+    struct HistShard
+    {
+        std::array<uint64_t, kHistogramBuckets> counts{};
+        uint64_t overflow = 0;
+        uint64_t sum = 0;
+        uint64_t count = 0;
+    };
+
     struct Shard
     {
         std::mutex mutex;
         std::map<std::string, uint64_t> counters;
         std::map<std::string, uint64_t> gauges;
+        std::map<std::string, HistShard> histograms;
     };
 
     /** This thread's shard, registered on first use. */

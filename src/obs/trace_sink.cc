@@ -152,6 +152,41 @@ TraceEventSink::counter(const std::string &name, uint64_t ts_us,
     record(Event{name, nullptr, 'C', ts_us, 0, value, currentTid()});
 }
 
+void
+TraceEventSink::asyncBegin(const std::string &name, const char *cat,
+                           uint64_t id, uint64_t ts_us)
+{
+    record(Event{name, cat, 'b', ts_us, 0, id, currentTid()});
+}
+
+void
+TraceEventSink::asyncEnd(const std::string &name, const char *cat,
+                         uint64_t id, uint64_t ts_us)
+{
+    record(Event{name, cat, 'e', ts_us, 0, id, currentTid()});
+}
+
+void
+TraceEventSink::flowStart(const std::string &name, const char *cat,
+                          uint64_t id, uint64_t ts_us)
+{
+    record(Event{name, cat, 's', ts_us, 0, id, currentTid()});
+}
+
+void
+TraceEventSink::flowStep(const std::string &name, const char *cat,
+                         uint64_t id, uint64_t ts_us)
+{
+    record(Event{name, cat, 't', ts_us, 0, id, currentTid()});
+}
+
+void
+TraceEventSink::flowEnd(const std::string &name, const char *cat,
+                        uint64_t id, uint64_t ts_us)
+{
+    record(Event{name, cat, 'f', ts_us, 0, id, currentTid()});
+}
+
 size_t
 TraceEventSink::eventCount() const
 {
@@ -181,6 +216,11 @@ TraceEventSink::eventJson(const Event &e) const
     if (e.ph == 'C')
         event.set("args",
                   Json::object().set("value", Json::number(e.value)));
+    if (e.ph == 'b' || e.ph == 'e' || e.ph == 's' || e.ph == 't' ||
+        e.ph == 'f')
+        event.set("id", Json::number(e.value));
+    if (e.ph == 'f')
+        event.set("bp", Json::string("e"));
     return event;
 }
 

@@ -22,6 +22,15 @@
  * on the steady clock since sink construction, so they are monotonic
  * per thread; tids are small dense integers assigned per OS thread.
  *
+ * On top of those, the serving layer records *async nestable* spans
+ * ("b"/"e" pairs matched by category + id + name) and *flow events*
+ * ("s"/"t"/"f", matched by id) so a single request is one visual
+ * track even though its phases run on different pool threads: the
+ * handler opens an async span per request, and a flow arrow steps
+ * from the accept through memo materialization into each cell's
+ * complete span. Ids come from the caller (the server uses its
+ * request sequence number), so concurrent requests never collide.
+ *
  * Memory is bounded: events buffer in RAM only up to a rotation
  * threshold (IBS_OBS_TRACE_BUFFER events, default 65536), then spill
  * to the output file incrementally. Each flush appends the buffered
@@ -101,6 +110,34 @@ class TraceEventSink
     void counter(const std::string &name, uint64_t ts_us,
                  uint64_t value);
 
+    /**
+     * Open an async nestable span ("ph":"b"). The viewer matches it
+     * with the asyncEnd() carrying the same (cat, id, name) triple —
+     * begin and end may come from different threads, which is the
+     * point: the span tracks a logical operation (one server
+     * request), not a thread.
+     */
+    void asyncBegin(const std::string &name, const char *cat,
+                    uint64_t id, uint64_t ts_us);
+
+    /** Close the matching async span ("ph":"e"). Thread-safe. */
+    void asyncEnd(const std::string &name, const char *cat,
+                  uint64_t id, uint64_t ts_us);
+
+    /**
+     * Flow events ("ph":"s"/"t"/"f"): one start, any number of
+     * steps, one end, all matched by id. Each binds to the slice
+     * enclosing it on its emitting thread, drawing arrows between
+     * slices on different threads (the end event binds to its
+     * enclosing slice via bp:"e").
+     */
+    void flowStart(const std::string &name, const char *cat,
+                   uint64_t id, uint64_t ts_us);
+    void flowStep(const std::string &name, const char *cat,
+                  uint64_t id, uint64_t ts_us);
+    void flowEnd(const std::string &name, const char *cat,
+                 uint64_t id, uint64_t ts_us);
+
     /** Number of events recorded so far (buffered + spilled). */
     size_t eventCount() const;
 
@@ -154,10 +191,11 @@ class TraceEventSink
 
         std::string name;
         const char *cat; ///< Static string or nullptr.
-        char ph;         ///< 'X' span, 'C' counter.
+        char ph;         ///< 'X' span, 'C' counter, 'b'/'e' async,
+                         ///< 's'/'t'/'f' flow.
         uint64_t ts;
-        uint64_t dur;   ///< Spans only.
-        uint64_t value; ///< Counters only.
+        uint64_t dur;   ///< 'X' spans only.
+        uint64_t value; ///< Counter value, or async/flow id.
         uint32_t tid;
     };
 

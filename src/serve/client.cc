@@ -21,7 +21,7 @@ Json
 sweepMessage(const std::string &suite,
              const std::vector<std::string> &configs,
              const std::vector<std::string> &workloads,
-             uint64_t instructions)
+             uint64_t instructions, const std::string &req_id)
 {
     Json config_list = Json::array();
     for (const std::string &name : configs)
@@ -38,6 +38,8 @@ sweepMessage(const std::string &suite,
             workload_list.push(Json::string(name));
         message.set("workloads", std::move(workload_list));
     }
+    if (!req_id.empty())
+        message.set("req_id", Json::string(req_id));
     return message;
 }
 
@@ -129,6 +131,25 @@ Client::stats()
     return response;
 }
 
+std::string
+Client::metricsText()
+{
+    send(Json::object().set("type", Json::string("metrics")));
+    Json response;
+    if (!receive(response))
+        throw std::runtime_error(
+            "client: server closed before answering metrics");
+    const Json *type = response.find("type");
+    if (!type || !type->isString() || type->asString() != "metrics")
+        throw std::runtime_error(
+            "client: unexpected response to metrics request");
+    const Json *text = response.find("text");
+    if (!text || !text->isString())
+        throw std::runtime_error(
+            "client: metrics response lacks a string \"text\"");
+    return text->asString();
+}
+
 void
 Client::shutdown()
 {
@@ -141,9 +162,10 @@ Client::SweepResult
 Client::sweep(const std::string &suite,
               const std::vector<std::string> &configs,
               const std::vector<std::string> &workloads,
-              uint64_t instructions)
+              uint64_t instructions, const std::string &req_id)
 {
-    send(sweepMessage(suite, configs, workloads, instructions));
+    send(sweepMessage(suite, configs, workloads, instructions,
+                      req_id));
     SweepResult result;
     Json frame;
     while (receive(frame)) {

@@ -65,6 +65,11 @@ class Client
      *  a non-stats response. */
     Json stats();
 
+    /** The server's telemetry in Prometheus text exposition format
+     *  (the "metrics" request's "text" member). Throws on transport
+     *  failure or a non-metrics response. */
+    std::string metricsText();
+
     /** Ask the server to stop; returns once it acknowledges. */
     void shutdown();
 
@@ -84,13 +89,15 @@ class Client
     /**
      * Run one sweep request to completion, collecting every streamed
      * cell frame. An empty `workloads` means the suite's full set.
-     * Structured rejections land in the result; transport failures
-     * throw.
+     * A non-empty `req_id` rides along for server-side correlation
+     * (access log, traces); see serve/protocol.h. Structured
+     * rejections land in the result; transport failures throw.
      */
     SweepResult sweep(const std::string &suite,
                       const std::vector<std::string> &configs,
                       const std::vector<std::string> &workloads,
-                      uint64_t instructions);
+                      uint64_t instructions,
+                      const std::string &req_id = std::string());
 
   private:
     int fd_ = -1;

@@ -65,6 +65,12 @@ writeAll(int fd, const void *data, size_t n)
 bool
 writeFrame(int fd, const Json &message)
 {
+    return writeFrame(fd, message, nullptr);
+}
+
+bool
+writeFrame(int fd, const Json &message, uint64_t *bytes_out)
+{
     const std::string payload = message.dump(0);
     if (payload.size() > kMaxFrameBytes)
         return false; // Never emit a frame a peer must reject.
@@ -79,7 +85,11 @@ writeFrame(int fd, const Json &message)
     // without its payload unless the connection actually broke.
     std::string frame(reinterpret_cast<char *>(header), 4);
     frame += payload;
-    return writeAll(fd, frame.data(), frame.size());
+    if (!writeAll(fd, frame.data(), frame.size()))
+        return false;
+    if (bytes_out)
+        *bytes_out += frame.size();
+    return true;
 }
 
 FrameStatus

@@ -20,14 +20,31 @@
  * answers with a structured error and keeps the connection.
  *
  * Requests:  {"type":"ping"} | {"type":"stats"} |
- *            {"type":"shutdown"} |
+ *            {"type":"metrics"} | {"type":"shutdown"} |
  *            {"type":"sweep","suite":...,"configs":[...],
  *             "workloads":[...],"instructions":N}
  * Responses: {"type":"pong"} | {"type":"stats",...} |
+ *            {"type":"metrics","content_type":...,"text":...} |
  *            {"type":"shutting_down"} |
  *            {"type":"start",...} then one {"type":"cell",...} per
  *            finished cell then {"type":"done",...} |
  *            {"type":"error","code":400|429|500,"message":...}
+ *
+ * Request ids: any request may carry a string "req_id"; the server
+ * echoes it verbatim in every frame it sends for that request (for a
+ * sweep: the "start", every "cell", and the "done" frame) and uses
+ * it in its access log, so a client can correlate its own records
+ * with server-side telemetry and traces. When the member is absent
+ * or not a non-empty string, the server assigns "s-<n>" from a
+ * process-wide sequence and echoes that instead — every response
+ * frame to a well-formed request therefore carries a "req_id".
+ *
+ * The "metrics" response's "text" member is the server's telemetry
+ * in Prometheus text exposition format (src/obs/prom.h): registry
+ * counters and gauges, request/phase latency histograms with
+ * _bucket/_sum/_count series, and the server lifetime counters as
+ * ibs_serve_* families. "content_type" carries the conventional
+ * exposition MIME string for any HTTP gateway that fronts this.
  */
 
 #ifndef IBS_SERVE_PROTOCOL_H
@@ -73,6 +90,12 @@ bool writeAll(int fd, const void *data, size_t n);
 
 /** Serialize (compact) and send one frame. False on I/O failure. */
 bool writeFrame(int fd, const Json &message);
+
+/** As writeFrame, additionally adding the frame's full wire size
+ *  (header + payload) to *bytes_out on success — the server's
+ *  per-request bytes_out accounting. Not atomic: callers serialize
+ *  via their connection write mutex. */
+bool writeFrame(int fd, const Json &message, uint64_t *bytes_out);
 
 /**
  * Read one frame.

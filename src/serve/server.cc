@@ -14,11 +14,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/log.h"
+#include "obs/prom.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "obs/trace_sink.h"
 #include "serve/catalog.h"
 #include "sim/bench_report.h"
 #include "sim/parallel.h"
@@ -137,6 +140,86 @@ memoKey(const SweepRequest &request)
 
 } // namespace
 
+/**
+ * Request-scoped telemetry, one instance per parsed request frame:
+ * a stable (seq, req_id) identity, the response byte count, and —
+ * on destruction, after the response is on the wire — the latency
+ * histograms, the access-log line, and the async span close. When
+ * IBS_OBS_TRACE is set, construction opens a "req <id>" async span
+ * and a flow; step() adds a flow step from whatever thread is
+ * advancing the request (the handler after materialization, each
+ * pool thread per cell), which is what stitches a request's work
+ * across threads in the Perfetto view.
+ */
+struct RequestTelemetry
+{
+    uint64_t seq;   ///< Numeric async/flow id (unique per process).
+    std::string id; ///< Echoed req_id (client's, or "s-<seq>").
+    std::string kind = "invalid";
+    int code = 0; ///< Error code of the response, 0 when none sent.
+    uint64_t bytesOut = 0;
+    uint64_t cells = 0;
+    bool isSweep = false;
+    WallTimer timer;
+    obs::TraceEventSink *sink;
+
+    RequestTelemetry(uint64_t seq_no, std::string req_id)
+        : seq(seq_no), id(std::move(req_id)),
+          sink(obs::TraceEventSink::global())
+    {
+        if (sink) {
+            const uint64_t now = sink->nowMicros();
+            sink->asyncBegin(spanName(), "serve.req", seq, now);
+            sink->flowStart(spanName(), "serve.req", seq, now);
+        }
+    }
+
+    RequestTelemetry(const RequestTelemetry &) = delete;
+    RequestTelemetry &operator=(const RequestTelemetry &) = delete;
+
+    std::string spanName() const { return "req " + id; }
+
+    /** Flow step from the calling thread (binds to its current
+     *  slice, drawing the cross-thread arrow). */
+    void
+    step()
+    {
+        if (sink)
+            sink->flowStep(spanName(), "serve.req", seq,
+                           sink->nowMicros());
+    }
+
+    ~RequestTelemetry()
+    {
+        const uint64_t us =
+            static_cast<uint64_t>(timer.seconds() * 1e6);
+        obs::Registry &registry = obs::Registry::global();
+        if (registry.enabled()) {
+            registry.observe("serve.request.latency_us", us);
+            registry.observe("serve.request.bytes_out", bytesOut);
+            if (isSweep) {
+                registry.observe("serve.request.cells", cells);
+                // Sweep-only latency: the all-request histogram
+                // mixes in microsecond pings, so percentile
+                // cross-checks against sweep clients read this one.
+                registry.observe("serve.sweep.latency_us", us);
+            }
+        }
+        if (sink) {
+            const uint64_t now = sink->nowMicros();
+            sink->flowEnd(spanName(), "serve.req", seq, now);
+            sink->asyncEnd(spanName(), "serve.req", seq, now);
+        }
+        obs::log(obs::LogLevel::Info,
+                 "serve: req id=%s type=%s code=%d latency_us=%llu "
+                 "bytes_out=%llu cells=%llu",
+                 id.c_str(), kind.c_str(), code,
+                 static_cast<unsigned long long>(us),
+                 static_cast<unsigned long long>(bytesOut),
+                 static_cast<unsigned long long>(cells));
+    }
+};
+
 ServerConfig
 ServerConfig::fromEnv()
 {
@@ -170,6 +253,9 @@ Server::~Server()
 void
 Server::start()
 {
+    // An unobservable server cannot be operated: the registry backs
+    // the "metrics"/"stats" surfaces regardless of IBS_OBS.
+    obs::Registry::global().setEnabled(true);
     listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0)
         throw std::runtime_error("serve: socket() failed");
@@ -281,55 +367,93 @@ Server::handleConnection(int fd)
 bool
 Server::dispatch(int fd, const Json &request, std::mutex &write_mutex)
 {
-    const Json *type = request.find("type");
-    if (!request.isObject() || !type || !type->isString()) {
+    const uint64_t seq =
+        reqSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::string req_id = "s-" + std::to_string(seq);
+    if (request.isObject()) {
+        const Json *id = request.find("req_id");
+        if (id && id->isString() && !id->asString().empty())
+            req_id = id->asString();
+    }
+    RequestTelemetry telemetry(seq, std::move(req_id));
+
+    const Json *type =
+        request.isObject() ? request.find("type") : nullptr;
+    if (!type || !type->isString()) {
+        telemetry.code = 400;
         protocolErrors_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(write_mutex);
         return writeFrame(
-            fd, errorMessage(400, "request needs a string \"type\""));
+            fd,
+            errorMessage(400, "request needs a string \"type\"")
+                .set("req_id", Json::string(telemetry.id)),
+            &telemetry.bytesOut);
     }
     const std::string &kind = type->asString();
+    telemetry.kind = kind;
     if (kind == "ping") {
         std::lock_guard<std::mutex> lock(write_mutex);
         return writeFrame(
-            fd, Json::object().set("type", Json::string("pong")));
+            fd,
+            Json::object()
+                .set("type", Json::string("pong"))
+                .set("req_id", Json::string(telemetry.id)),
+            &telemetry.bytesOut);
     }
     if (kind == "stats") {
         Json stats = statsMessage();
+        stats.set("req_id", Json::string(telemetry.id));
         std::lock_guard<std::mutex> lock(write_mutex);
-        return writeFrame(fd, stats);
+        return writeFrame(fd, stats, &telemetry.bytesOut);
+    }
+    if (kind == "metrics") {
+        Json metrics = metricsMessage();
+        metrics.set("req_id", Json::string(telemetry.id));
+        std::lock_guard<std::mutex> lock(write_mutex);
+        return writeFrame(fd, metrics, &telemetry.bytesOut);
     }
     if (kind == "shutdown") {
         // Stop first: once the client sees the ack, stopping() is
         // already true.
         requestStop();
         std::lock_guard<std::mutex> lock(write_mutex);
-        writeFrame(fd, Json::object().set(
-                           "type", Json::string("shutting_down")));
+        writeFrame(fd,
+                   Json::object()
+                       .set("type", Json::string("shutting_down"))
+                       .set("req_id", Json::string(telemetry.id)),
+                   &telemetry.bytesOut);
         return false;
     }
     if (kind == "sweep") {
-        handleSweep(fd, request, write_mutex);
+        handleSweep(fd, request, write_mutex, telemetry);
         return true;
     }
+    telemetry.code = 400;
     protocolErrors_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(write_mutex);
     return writeFrame(
-        fd, errorMessage(400, "unknown request type \"" + kind +
-                                  "\""));
+        fd,
+        errorMessage(400, "unknown request type \"" + kind + "\"")
+            .set("req_id", Json::string(telemetry.id)),
+        &telemetry.bytesOut);
 }
 
 void
 Server::handleSweep(int fd, const Json &request,
-                    std::mutex &write_mutex)
+                    std::mutex &write_mutex,
+                    RequestTelemetry &telemetry)
 {
     SweepRequest sweep;
     try {
         sweep = parseSweepRequest(request);
     } catch (const std::invalid_argument &e) {
+        telemetry.code = 400;
         protocolErrors_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(write_mutex);
-        writeFrame(fd, errorMessage(400, e.what()));
+        writeFrame(fd,
+                   errorMessage(400, e.what())
+                       .set("req_id", Json::string(telemetry.id)),
+                   &telemetry.bytesOut);
         return;
     }
 
@@ -338,6 +462,7 @@ Server::handleSweep(int fd, const Json &request,
     const uint64_t total_instructions = sweep.instructions * cells;
     if (total_instructions / cells != sweep.instructions ||
         total_instructions > config_.maxTotalInstructions) {
+        telemetry.code = 429;
         rejected_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(write_mutex);
         writeFrame(
@@ -350,7 +475,9 @@ Server::handleSweep(int fd, const Json &request,
                          "limit of " +
                          std::to_string(
                              config_.maxTotalInstructions) +
-                         " (IBS_SERVE_MAX_INSTR)"));
+                         " (IBS_SERVE_MAX_INSTR)")
+                .set("req_id", Json::string(telemetry.id)),
+            &telemetry.bytesOut);
         return;
     }
 
@@ -358,13 +485,16 @@ Server::handleSweep(int fd, const Json &request,
     if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
         config_.maxInflight) {
         inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        telemetry.code = 429;
         rejected_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(write_mutex);
         writeFrame(fd,
                    errorMessage(429,
                                 "server is at its in-flight request "
                                 "limit (IBS_SERVE_MAX_INFLIGHT); "
-                                "retry later"));
+                                "retry later")
+                       .set("req_id", Json::string(telemetry.id)),
+                   &telemetry.bytesOut);
         return;
     }
     struct InflightGuard
@@ -377,11 +507,15 @@ Server::handleSweep(int fd, const Json &request,
     } inflight_guard{inflight_};
 
     sweeps_.fetch_add(1, std::memory_order_relaxed);
+    telemetry.isSweep = true;
+    telemetry.cells = cells;
+    obs::Registry &registry = obs::Registry::global();
     WallTimer request_timer;
     obs::ScopedTimer span("serve sweep " + memoKey(sweep), "serve");
 
     bool memo_hit = false;
     std::shared_ptr<const SuiteTraces> suite;
+    WallTimer materialize_timer;
     try {
         suite = memo_.get(
             memoKey(sweep),
@@ -393,13 +527,23 @@ Server::handleSweep(int fd, const Json &request,
             },
             &memo_hit);
     } catch (const std::exception &e) {
+        telemetry.code = 500;
         std::lock_guard<std::mutex> lock(write_mutex);
-        writeFrame(fd, errorMessage(
-                           500, std::string(
-                                    "trace materialization failed: ") +
-                                    e.what()));
+        writeFrame(fd,
+                   errorMessage(
+                       500, std::string(
+                                "trace materialization failed: ") +
+                                e.what())
+                       .set("req_id", Json::string(telemetry.id)),
+                   &telemetry.bytesOut);
         return;
     }
+    if (registry.enabled())
+        registry.observe(
+            "serve.sweep.materialize_us",
+            static_cast<uint64_t>(materialize_timer.seconds() *
+                                  1e6));
+    telemetry.step(); // Flow: handler thread, traces are warm.
 
     {
         Json start = Json::object()
@@ -407,9 +551,10 @@ Server::handleSweep(int fd, const Json &request,
                          .set("protocol",
                               Json::number(uint64_t{kProtocolVersion}))
                          .set("cells", Json::number(cells))
-                         .set("memo_hit", Json::boolean(memo_hit));
+                         .set("memo_hit", Json::boolean(memo_hit))
+                         .set("req_id", Json::string(telemetry.id));
         std::lock_guard<std::mutex> lock(write_mutex);
-        if (!writeFrame(fd, start))
+        if (!writeFrame(fd, start, &telemetry.bytesOut))
             return;
     }
 
@@ -428,6 +573,8 @@ Server::handleSweep(int fd, const Json &request,
                 const FetchStats stats =
                     suite->runOne(w, *sweep.configs[c]);
                 const double seconds = cell_timer.seconds();
+                telemetry.step(); // Flow: this cell's pool thread.
+                WallTimer serialize_timer;
                 Json cell =
                     Json::object()
                         .set("type", Json::string("cell"))
@@ -439,11 +586,23 @@ Server::handleSweep(int fd, const Json &request,
                         .set("workload_index", Json::number(w))
                         .set("stats", toJson(stats))
                         .set("timing",
-                             timingJson(seconds, stats.instructions));
-                std::lock_guard<std::mutex> lock(write_mutex);
-                if (!writeFrame(fd, cell))
-                    throw std::runtime_error(
-                        "client connection lost mid-sweep");
+                             timingJson(seconds, stats.instructions))
+                        .set("req_id", Json::string(telemetry.id));
+                {
+                    std::lock_guard<std::mutex> lock(write_mutex);
+                    if (!writeFrame(fd, cell, &telemetry.bytesOut))
+                        throw std::runtime_error(
+                            "client connection lost mid-sweep");
+                }
+                if (registry.enabled()) {
+                    registry.observe(
+                        "serve.sweep.simulate_us",
+                        static_cast<uint64_t>(seconds * 1e6));
+                    registry.observe(
+                        "serve.sweep.serialize_us",
+                        static_cast<uint64_t>(
+                            serialize_timer.seconds() * 1e6));
+                }
                 cellsDone_.fetch_add(1, std::memory_order_relaxed);
             });
     } catch (const std::exception &e) {
@@ -462,9 +621,10 @@ Server::handleSweep(int fd, const Json &request,
                     .set("cells", Json::number(cells))
                     .set("memo_hit", Json::boolean(memo_hit))
                     .set("wall_seconds",
-                         Json::number(request_timer.seconds()));
+                         Json::number(request_timer.seconds()))
+                    .set("req_id", Json::string(telemetry.id));
     std::lock_guard<std::mutex> lock(write_mutex);
-    writeFrame(fd, done);
+    writeFrame(fd, done, &telemetry.bytesOut);
 }
 
 Json
@@ -505,6 +665,45 @@ Server::statsMessage()
         message.set("registry",
                     obs::Registry::global().snapshotJson());
     return message;
+}
+
+Json
+Server::metricsMessage()
+{
+    std::string text =
+        obs::renderPrometheus(obs::Registry::global());
+    // The server's lifetime counters live in atomics, not the
+    // registry (they predate it and must count even when telemetry
+    // publishing is off); append them as their own families. Names
+    // are disjoint from every registry-derived ibs_serve_* family.
+    const Counters c = counters();
+    std::ostringstream extra;
+    const auto family = [&extra](const char *name, const char *type,
+                                 uint64_t value) {
+        extra << "# TYPE " << name << ' ' << type << '\n'
+              << name << ' ' << value << '\n';
+    };
+    family("ibs_serve_connections", "counter", c.connections);
+    family("ibs_serve_requests", "counter", c.requests);
+    family("ibs_serve_sweeps", "counter", c.sweeps);
+    family("ibs_serve_cells", "counter", c.cells);
+    family("ibs_serve_rejected", "counter", c.rejected);
+    family("ibs_serve_protocol_errors", "counter",
+           c.protocolErrors);
+    family("ibs_serve_inflight", "gauge",
+           inflight_.load(std::memory_order_relaxed));
+    family("ibs_serve_max_inflight", "gauge",
+           config_.maxInflight);
+    extra << "# TYPE ibs_serve_uptime_seconds gauge\n"
+          << "ibs_serve_uptime_seconds " << uptime_.seconds()
+          << '\n';
+    text += extra.str();
+    return Json::object()
+        .set("type", Json::string("metrics"))
+        .set("content_type",
+             Json::string(
+                 "text/plain; version=0.0.4; charset=utf-8"))
+        .set("text", Json::string(text));
 }
 
 Server::Counters

@@ -15,6 +15,18 @@
  * byte-budgeted LRU (serve/memo.h), so a repeated request pays only
  * replay.
  *
+ * Telemetry: start() enables the process-wide obs::Registry (an
+ * unobservable server cannot be operated), and every parsed request
+ * is wrapped in request-scoped telemetry — a req_id (client-supplied
+ * or server-assigned, see serve/protocol.h), an access-log line at
+ * Info level, latency/size histograms (serve.request.latency_us,
+ * serve.request.bytes_out, serve.request.cells, and the per-phase
+ * serve.sweep.materialize_us / simulate_us / serialize_us), and —
+ * when IBS_OBS_TRACE is set — one async span per request with flow
+ * events stepping from the handler through materialization into
+ * each cell on the pool threads. The "metrics" request exposes the
+ * whole registry in Prometheus text exposition format.
+ *
  * Admission control keeps the process answerable under overload:
  * at most `maxInflight` sweep requests execute at once and a request
  * may not exceed `maxTotalInstructions` simulated instructions
@@ -44,6 +56,9 @@
 #include "stats/report.h"
 
 namespace ibs::serve {
+
+/** Per-request telemetry scope (defined in server.cc). */
+struct RequestTelemetry;
 
 /** Server tunables; defaults are safe for tests and local use. */
 struct ServerConfig
@@ -118,8 +133,12 @@ class Server
     bool dispatch(int fd, const Json &request,
                   std::mutex &write_mutex);
     void handleSweep(int fd, const Json &request,
-                     std::mutex &write_mutex);
+                     std::mutex &write_mutex,
+                     RequestTelemetry &telemetry);
     Json statsMessage();
+    /** The "metrics" response: Prometheus exposition text of the obs
+     *  registry plus the server's own lifetime counters. */
+    Json metricsMessage();
 
     ServerConfig config_;
     TraceMemo memo_;
@@ -134,6 +153,7 @@ class Server
     std::mutex joinMutex_;
     WallTimer uptime_;
 
+    std::atomic<uint64_t> reqSeq_{0}; ///< Request-id sequence.
     std::atomic<uint64_t> connections_{0};
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> sweeps_{0};

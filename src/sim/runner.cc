@@ -72,6 +72,10 @@ runFetchStreamed(const WorkloadSpec &spec, const FetchConfig &config,
         obs::Registry::global().add("workload.model.runs_emitted",
                                     stream.runsEmitted());
         engine.publishCounters(obs::Registry::global());
+        // Scheduling-independent histogram sample (the registry's
+        // thread-count-invariance contract covers histograms too).
+        obs::Registry::global().observe("sim.cell.instructions",
+                                        engine.stats().instructions);
     }
     return engine.stats();
 }
@@ -289,6 +293,11 @@ SuiteTraces::runOne(size_t i, const FetchConfig &config) const
                                         runs_replayed);
         }
         engine.publishCounters(obs::Registry::global());
+        // Scheduling-independent histogram sample: one observation
+        // per replayed cell, so the merged histogram is bit-identical
+        // across IBS_THREADS like the counters above.
+        obs::Registry::global().observe("sim.cell.instructions",
+                                        engine.stats().instructions);
     }
     return engine.stats();
 }

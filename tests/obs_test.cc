@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +21,7 @@
 
 #include "obs/log.h"
 #include "obs/progress.h"
+#include "obs/prom.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace_sink.h"
@@ -144,6 +146,270 @@ TEST(ObsRegistry, SweepCountersAreThreadCountInvariant)
     }
     EXPECT_EQ(baseline.at("fetch.engine.instructions"),
               2u * 2u * 5000u);
+}
+
+TEST(ObsRegistry, Log2BucketEdgesAndHistogramQuantiles)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+
+    // Values 0 and 1 share bucket 0 (edge 1); bucket k holds
+    // [2^k, 2^(k+1)) with inclusive upper edge 2^(k+1)-1.
+    EXPECT_EQ(obs::log2BucketUpperEdge(0), 1u);
+    EXPECT_EQ(obs::log2BucketUpperEdge(1), 1u);
+    EXPECT_EQ(obs::log2BucketUpperEdge(2), 3u);
+    EXPECT_EQ(obs::log2BucketUpperEdge(3), 3u);
+    EXPECT_EQ(obs::log2BucketUpperEdge(4), 7u);
+    EXPECT_EQ(obs::log2BucketUpperEdge(1000), 1023u);
+    EXPECT_EQ(obs::log2BucketUpperEdge(1024), 2047u);
+
+    for (uint64_t v : {0u, 1u, 2u, 3u, 4u, 1024u})
+        reg.observe("t.hist.q", v);
+    const auto hists = reg.snapshotHistograms();
+    const obs::HistogramSnapshot &h = hists.at("t.hist.q");
+    EXPECT_EQ(h.counts[0], 2u); // 0 and 1.
+    EXPECT_EQ(h.counts[1], 2u); // 2 and 3.
+    EXPECT_EQ(h.counts[2], 1u); // 4.
+    EXPECT_EQ(h.counts[10], 1u); // 1024.
+    EXPECT_EQ(h.count, 6u);
+    EXPECT_EQ(h.sum, 1034u);
+    EXPECT_EQ(h.overflow, 0u);
+    // Quantiles resolve to the upper edge of the lowest occupied
+    // bucket reaching the target mass.
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(0.5), 3u);    // target 3, reached at b1.
+    EXPECT_EQ(h.quantile(1.0), 2047u); // All mass: last bucket.
+
+    // Empty histogram: 0. All-overflow histogram: UINT64_MAX.
+    obs::HistogramSnapshot empty;
+    EXPECT_EQ(empty.quantile(0.5), 0u);
+    reg.observe("t.hist.over", uint64_t{1} << 41);
+    const obs::HistogramSnapshot over =
+        reg.snapshotHistograms().at("t.hist.over");
+    EXPECT_EQ(over.overflow, 1u);
+    EXPECT_EQ(over.quantile(0.5), UINT64_MAX);
+}
+
+TEST(ObsRegistry, HistogramsMergeAcrossThreadsByBucketAddition)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&reg] {
+            for (int i = 0; i < 100; ++i)
+                reg.observe("t.hist.merge", 5);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const obs::HistogramSnapshot h =
+        reg.snapshotHistograms().at("t.hist.merge");
+    EXPECT_EQ(h.counts[2], 400u); // 5 lands in [4, 8).
+    EXPECT_EQ(h.count, 400u);
+    EXPECT_EQ(h.sum, 2000u);
+}
+
+TEST(ObsRegistry, SweepHistogramsAreThreadCountInvariant)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+
+    SuiteTraces suite({makeSpec(SpecBenchmark::Espresso),
+                       makeSpec(SpecBenchmark::Gcc)},
+                      5000, "", 1, false);
+    const std::vector<FetchConfig> configs = {
+        economyBaseline(),
+        withOnChipL2(economyBaseline(), 64 * 1024, 64, 2)};
+
+    std::map<std::string, obs::HistogramSnapshot> baseline;
+    for (unsigned threads : {1u, 4u, 13u}) {
+        reg.reset();
+        runSweep(suite, configs, threads);
+        const auto hists = reg.snapshotHistograms();
+        ASSERT_TRUE(hists.count("sim.cell.instructions"));
+        if (threads == 1)
+            baseline = hists;
+        else
+            EXPECT_TRUE(hists == baseline)
+                << "histogram snapshot differs at " << threads
+                << " threads";
+    }
+    // One observation per cell, each the cell's instruction count.
+    const obs::HistogramSnapshot &cells =
+        baseline.at("sim.cell.instructions");
+    EXPECT_EQ(cells.count, 4u);
+    EXPECT_EQ(cells.sum, 4u * 5000u);
+}
+
+TEST(ObsRegistry, CounterWinsNameCollisions)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+
+    // Counter vs gauge under one name: snapshot() keeps the counter.
+    reg.add("t.col.both", 5);
+    reg.gaugeMax("t.col.both", 99);
+    EXPECT_EQ(reg.snapshot().at("t.col.both"), 5u);
+    // snapshotParts() keeps the classes apart, no folding.
+    std::map<std::string, uint64_t> counters, gauges;
+    reg.snapshotParts(counters, gauges);
+    EXPECT_EQ(counters.at("t.col.both"), 5u);
+    EXPECT_EQ(gauges.at("t.col.both"), 99u);
+
+    // A counter squatting on a histogram's derived ".count" key wins
+    // in snapshotJson; the non-colliding ".sum" comes through.
+    reg.add("t.col.h.count", 7);
+    reg.observe("t.col.h", 3);
+    reg.observe("t.col.h", 3);
+    const Json j = reg.snapshotJson();
+    EXPECT_EQ(j.at("t.col.h.count").asNumber(), 7);
+    EXPECT_EQ(j.at("t.col.h.sum").asNumber(), 6);
+}
+
+TEST(ObsRegistry, ResetClearsHistogramShards)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+    reg.observe("t.hist.reset", 42);
+    ASSERT_EQ(reg.snapshotHistograms().size(), 1u);
+    reg.reset();
+    EXPECT_TRUE(reg.snapshotHistograms().empty());
+    EXPECT_EQ(reg.histogramsJson().size(), 0u);
+    // And the shard is still writable after the reset.
+    reg.observe("t.hist.reset", 1);
+    EXPECT_EQ(reg.snapshotHistograms().at("t.hist.reset").count, 1u);
+}
+
+TEST(ObsProm, RenderParseValidateRoundTrip)
+{
+    RegistryGuard guard;
+    obs::Registry &reg = obs::Registry::global();
+    reg.add("t.prom.hits", 12);
+    reg.gaugeMax("t.prom.depth", 4);
+    for (uint64_t v : {3u, 100u, 5000u})
+        reg.observe("t.prom.lat_us", v);
+
+    EXPECT_EQ(obs::promMetricName("serve.request.latency_us"),
+              "ibs_serve_request_latency_us");
+
+    const std::string text = obs::renderPrometheus(reg);
+    std::string error;
+    EXPECT_TRUE(obs::validatePromText(text, error)) << error;
+
+    double value = 0;
+    ASSERT_TRUE(obs::findPromValue(text, "ibs_t_prom_hits", value));
+    EXPECT_EQ(value, 12.0);
+    ASSERT_TRUE(obs::findPromValue(text, "ibs_t_prom_depth", value));
+    EXPECT_EQ(value, 4.0);
+
+    obs::PromHistogram hist;
+    ASSERT_TRUE(
+        obs::parsePromHistogram(text, "ibs_t_prom_lat_us", hist));
+    EXPECT_EQ(hist.count, 3u);
+    EXPECT_EQ(hist.sum, 5103.0);
+    // Every edge up to the highest occupied bucket (5000 is in
+    // [4096, 8192), bucket 12), then the mandatory +Inf: edges
+    // 1, 3, 7, ..., 8191 and +Inf, cumulative counts throughout.
+    ASSERT_EQ(hist.buckets.size(), 14u);
+    EXPECT_EQ(hist.buckets[0].first, 1.0);
+    EXPECT_EQ(hist.buckets[0].second, 0u);
+    EXPECT_EQ(hist.buckets[1].first, 3.0);
+    EXPECT_EQ(hist.buckets[1].second, 1u);
+    EXPECT_EQ(hist.buckets[6].first, 127.0);
+    EXPECT_EQ(hist.buckets[6].second, 2u);
+    EXPECT_EQ(hist.buckets[12].first, 8191.0);
+    EXPECT_EQ(hist.buckets[12].second, 3u);
+    EXPECT_TRUE(std::isinf(hist.buckets[13].first));
+    EXPECT_EQ(hist.buckets[13].second, 3u);
+    // Parsed quantiles match the registry-side bucket edges.
+    EXPECT_EQ(hist.quantile(0.5), 127.0);
+    EXPECT_EQ(hist.quantile(1.0), 8191.0);
+    EXPECT_EQ(static_cast<uint64_t>(hist.quantile(0.5)),
+              reg.snapshotHistograms()
+                  .at("t.prom.lat_us")
+                  .quantile(0.5));
+
+    // Absent families are reported, not invented.
+    EXPECT_FALSE(obs::parsePromHistogram(text, "ibs_no_such", hist));
+    EXPECT_FALSE(obs::findPromValue(text, "ibs_no_such", value));
+}
+
+TEST(ObsProm, ValidateCatchesMalformedExposition)
+{
+    std::string error;
+    // A sample whose family was never announced by # TYPE.
+    EXPECT_FALSE(obs::validatePromText("orphan 1\n", error));
+    EXPECT_FALSE(error.empty());
+    // Histogram without the mandatory +Inf bucket.
+    EXPECT_FALSE(obs::validatePromText(
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 1\n"
+        "h_sum 1\n"
+        "h_count 1\n",
+        error));
+    // Cumulative bucket counts must never decrease.
+    EXPECT_FALSE(obs::validatePromText(
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 5\n"
+        "h_bucket{le=\"3\"} 2\n"
+        "h_bucket{le=\"+Inf\"} 5\n"
+        "h_sum 9\n"
+        "h_count 5\n",
+        error));
+    // A family announced twice.
+    EXPECT_FALSE(obs::validatePromText(
+        "# TYPE c counter\n# TYPE c counter\nc 1\n", error));
+    // The empty document is trivially well-formed.
+    EXPECT_TRUE(obs::validatePromText("", error)) << error;
+}
+
+TEST(ObsTraceSink, AsyncSpansAndFlowsCarryIdsAndRoundTrip)
+{
+    const bool was = obs::Registry::global().enabled();
+    obs::Registry::global().setEnabled(false);
+    const std::string path =
+        testing::TempDir() + "obs_async_trace.json";
+    constexpr uint64_t ID = 7;
+    {
+        obs::TraceEventSink sink(path);
+        sink.asyncBegin("req a", "serve.req", ID, 10);
+        sink.flowStart("req a", "serve.req", ID, 10);
+        // The step comes from a different thread — the whole point
+        // of async spans and flows.
+        std::thread worker([&sink] {
+            sink.flowStep("req a", "serve.req", ID, 20);
+        });
+        worker.join();
+        sink.flowEnd("req a", "serve.req", ID, 30);
+        sink.asyncEnd("req a", "serve.req", ID, 40);
+        ASSERT_TRUE(sink.write());
+    }
+    const Json doc = Json::parse(readFile(path));
+    const Json &events = doc.at("traceEvents");
+    std::map<std::string, int> phases;
+    std::map<double, int> tids;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        const std::string ph = e.at("ph").asString();
+        ++phases[ph];
+        // Every async/flow event carries the pairing id and cat.
+        EXPECT_EQ(e.at("id").asNumber(), static_cast<double>(ID));
+        EXPECT_EQ(e.at("cat").asString(), "serve.req");
+        EXPECT_EQ(e.at("name").asString(), "req a");
+        if (ph == "f") { // Flow end binds to the enclosing slice end.
+            EXPECT_EQ(e.at("bp").asString(), "e");
+        }
+        ++tids[e.at("tid").asNumber()];
+    }
+    EXPECT_EQ(phases["b"], 1);
+    EXPECT_EQ(phases["e"], 1);
+    EXPECT_EQ(phases["s"], 1);
+    EXPECT_EQ(phases["t"], 1);
+    EXPECT_EQ(phases["f"], 1);
+    EXPECT_EQ(tids.size(), 2u) << "flow step kept the worker tid";
+    obs::Registry::global().setEnabled(was);
+    std::remove(path.c_str());
 }
 
 TEST(ObsTraceSink, EscapesAwkwardSpanNames)

@@ -8,6 +8,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -16,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/prom.h"
+#include "obs/registry.h"
 #include "serve/catalog.h"
 #include "serve/client.h"
 #include "serve/memo.h"
@@ -347,6 +350,153 @@ TEST(Serve, ConcurrentClientsAllComplete)
     EXPECT_EQ(ok.load(), 3);
     // One materialization, shared by everyone.
     EXPECT_EQ(server.memo().stats().misses, 1u);
+}
+
+TEST(Serve, MetricsExpositionValidatesAndCountsSweeps)
+{
+    // The request histograms live in the process-global registry;
+    // clear residue from earlier tests so counts are exact.
+    obs::Registry::global().reset();
+
+    Server server(testConfig());
+    server.start();
+    Client client(server.port());
+    ASSERT_TRUE(
+        client.sweep("ibs_mach", {"economy"}, testWorkloads(), kInstr)
+            .ok);
+
+    const std::string text = client.metricsText();
+    std::string error;
+    EXPECT_TRUE(obs::validatePromText(text, error)) << error;
+
+    double value = 0;
+    ASSERT_TRUE(obs::findPromValue(text, "ibs_serve_requests", value));
+    EXPECT_GE(value, 2.0); // The sweep, then this scrape.
+    ASSERT_TRUE(obs::findPromValue(text, "ibs_serve_sweeps", value));
+    EXPECT_EQ(value, 1.0);
+    ASSERT_TRUE(obs::findPromValue(text, "ibs_serve_cells", value));
+    EXPECT_EQ(value, 2.0);
+    ASSERT_TRUE(
+        obs::findPromValue(text, "ibs_serve_inflight", value));
+    EXPECT_EQ(value, 0.0);
+
+    // The sweep landed exactly once in the latency histogram, and
+    // its per-phase breakdown exists alongside it.
+    obs::PromHistogram hist;
+    ASSERT_TRUE(obs::parsePromHistogram(
+        text, "ibs_serve_sweep_latency_us", hist));
+    EXPECT_EQ(hist.count, 1u);
+    ASSERT_TRUE(obs::parsePromHistogram(
+        text, "ibs_serve_request_latency_us", hist));
+    EXPECT_GE(hist.count, 1u);
+    ASSERT_TRUE(obs::parsePromHistogram(
+        text, "ibs_serve_request_cells", hist));
+    EXPECT_EQ(hist.count, 1u);
+    EXPECT_EQ(hist.sum, 2.0);
+    EXPECT_TRUE(obs::parsePromHistogram(
+        text, "ibs_serve_sweep_materialize_us", hist));
+    EXPECT_TRUE(obs::parsePromHistogram(
+        text, "ibs_serve_sweep_simulate_us", hist));
+    EXPECT_EQ(hist.count, 2u); // One sample per cell.
+}
+
+TEST(Serve, ReqIdEchoesClientTokenOrAssignsServerId)
+{
+    Server server(testConfig());
+    server.start();
+    Client client(server.port());
+
+    // A client-chosen id comes back verbatim.
+    client.send(Json::object()
+                    .set("type", Json::string("ping"))
+                    .set("req_id", Json::string("my-ping-1")));
+    Json response;
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.at("type").asString(), "pong");
+    EXPECT_EQ(response.at("req_id").asString(), "my-ping-1");
+
+    // Without one, the server assigns "s-<seq>".
+    client.send(Json::object().set("type", Json::string("ping")));
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.at("req_id").asString().substr(0, 2), "s-");
+
+    // A sweep echoes the id on every frame: start, cells, done.
+    Json configs = Json::array();
+    configs.push(Json::string("economy"));
+    Json workloads = Json::array();
+    for (const std::string &name : testWorkloads())
+        workloads.push(Json::string(name));
+    client.send(Json::object()
+                    .set("type", Json::string("sweep"))
+                    .set("suite", Json::string("ibs_mach"))
+                    .set("configs", std::move(configs))
+                    .set("workloads", std::move(workloads))
+                    .set("instructions", Json::number(kInstr))
+                    .set("req_id", Json::string("sweep-42")));
+    size_t frames = 0;
+    for (;;) {
+        ASSERT_TRUE(client.receive(response));
+        ++frames;
+        EXPECT_EQ(response.at("req_id").asString(), "sweep-42")
+            << response.at("type").asString();
+        if (response.at("type").asString() == "done")
+            break;
+        ASSERT_NE(response.at("type").asString(), "error");
+    }
+    EXPECT_EQ(frames, 4u); // start + 2 cells + done.
+
+    // Structured rejections carry the id too.
+    client.send(Json::object()
+                    .set("type", Json::string("sweep"))
+                    .set("suite", Json::string("no_such_suite"))
+                    .set("req_id", Json::string("bad-1")));
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.at("type").asString(), "error");
+    EXPECT_EQ(response.at("req_id").asString(), "bad-1");
+}
+
+TEST(Serve, ServerHistogramAgreesWithClientLatencies)
+{
+    obs::Registry::global().reset();
+
+    Server server(testConfig());
+    server.start();
+    Client client(server.port());
+
+    // The same requests timed on both sides of the wire: client
+    // wall clocks here, the serve.sweep.latency_us histogram there.
+    std::vector<double> latencies;
+    for (int i = 0; i < 6; ++i) {
+        WallTimer timer;
+        ASSERT_TRUE(client
+                        .sweep("ibs_mach", {"economy"},
+                               testWorkloads(), kInstr)
+                        .ok);
+        latencies.push_back(timer.seconds());
+    }
+    std::sort(latencies.begin(), latencies.end());
+
+    obs::PromHistogram hist;
+    ASSERT_TRUE(obs::parsePromHistogram(
+        client.metricsText(), "ibs_serve_sweep_latency_us", hist));
+    ASSERT_EQ(hist.count, 6u);
+
+    // Both sides at log2-bucket resolution: one bucket of slack
+    // (2x) absorbs the wire round trip; more is a real divergence.
+    for (double q : {0.50, 0.99}) {
+        const size_t index = static_cast<size_t>(
+            q * static_cast<double>(latencies.size() - 1) + 0.5);
+        const double client_edge = static_cast<double>(
+            obs::log2BucketUpperEdge(static_cast<uint64_t>(
+                latencies[std::min(index, latencies.size() - 1)] *
+                1e6)));
+        const double server_edge = hist.quantile(q);
+        const double hi = std::max(client_edge, server_edge);
+        const double lo = std::min(client_edge, server_edge);
+        EXPECT_LE(hi / lo, 2.01)
+            << "q=" << q << " client<=" << client_edge
+            << "us server<=" << server_edge << "us";
+    }
 }
 
 TEST(Serve, CatalogNamesResolveAndValidate)

@@ -12,12 +12,26 @@
  *   ibs_loadgen --port P [--connections N] [--requests-per-conn R]
  *               [--suite ibs_mach] [--configs a,b,c]
  *               [--workloads x,y] [--instructions K]
- *               [--shutdown]
+ *               [--check] [--shutdown]
  *
  * Every connection issues the same request R times (after the first
  * completion the server's memo is warm, so the mix measures warm
  * latency with one cold outlier per distinct key). --shutdown sends a
  * shutdown request after the load completes.
+ *
+ * After the run the server's own sweep-latency histogram
+ * (ibs_serve_sweep_latency_us from the `metrics` request) is printed
+ * next to the client-side percentiles. Both sides are compared at
+ * log2-bucket resolution — the client's exact percentile is
+ * bucketized with obs::log2BucketUpperEdge — so two views of the
+ * same distribution land on the same edge instead of flaking at
+ * power-of-two boundaries. Under --check, a divergence of more than
+ * one bucket (i.e. more than 2x) at p50 or p99 is a hard failure
+ * with a message naming both sides. --check is meaningful with
+ * --connections 1: with concurrent clients on a busy machine, time
+ * a request spends queued in the socket buffer before the server
+ * reads the frame is visible only to the client clock, so the two
+ * views legitimately differ.
  */
 
 #include <algorithm>
@@ -31,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prom.h"
+#include "obs/registry.h"
 #include "serve/client.h"
 #include "stats/report.h"
 
@@ -49,6 +65,7 @@ struct Options
     std::vector<std::string> workloads; ///< Empty = full suite.
     uint64_t instructions = 200000;
     bool shutdown = false;
+    bool check = false; ///< Fail on client/server p50/p99 divergence.
 };
 
 std::vector<std::string>
@@ -76,7 +93,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s --port P [--connections N] "
         "[--requests-per-conn R] [--suite S] [--configs a,b] "
-        "[--workloads x,y] [--instructions K] [--shutdown]\n",
+        "[--workloads x,y] [--instructions K] [--check] "
+        "[--shutdown]\n",
         argv0);
     std::exit(2);
 }
@@ -112,6 +130,8 @@ parseArgs(int argc, char **argv)
                                              nullptr, 10);
         else if (arg == "--shutdown")
             opt.shutdown = true;
+        else if (arg == "--check")
+            opt.check = true;
         else
             usage(argv[0]);
     }
@@ -129,6 +149,33 @@ percentile(std::vector<double> sorted, double p)
     const size_t index = static_cast<size_t>(
         p * static_cast<double>(sorted.size() - 1) + 0.5);
     return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/**
+ * Compare one client-side percentile (seconds) against the server
+ * histogram's bucket-edge quantile (microseconds), both at log2
+ * bucket resolution. Adjacent buckets agree to within 2x and pass;
+ * two or more buckets apart is a real divergence. Prints one line
+ * either way; returns false on divergence.
+ */
+bool
+comparePercentile(const char *label, double client_seconds,
+                  double server_edge_us)
+{
+    const uint64_t client_us = static_cast<uint64_t>(
+        client_seconds * 1e6);
+    const double client_edge = static_cast<double>(
+        ibs::obs::log2BucketUpperEdge(client_us));
+    const double hi = std::max(client_edge, server_edge_us);
+    const double lo = std::min(client_edge, server_edge_us);
+    // lo > 0 always (bucket edges are >= 1); 2.01 admits exactly one
+    // bucket of slack (adjacent edges ratio ~2.0005).
+    const bool agree = hi / lo <= 2.01;
+    std::printf("%s client=%.0fus (bucket<=%.0f) server_bucket<=%.0f "
+                "%s\n",
+                label, static_cast<double>(client_us), client_edge,
+                server_edge_us, agree ? "agree" : "DIVERGE");
+    return agree;
 }
 
 } // namespace
@@ -199,6 +246,50 @@ main(int argc, char **argv)
                 wall > 0 ? static_cast<double>(completed) / wall : 0,
                 p50, p99);
 
+    // Server-side view of the same requests: the sweep-latency
+    // histogram from the metrics endpoint, printed next to the
+    // client percentiles (and gated under --check).
+    bool check_ok = true;
+    if (completed > 0) {
+        try {
+            serve::Client client(opt.port);
+            const std::string text = client.metricsText();
+            obs::PromHistogram latency;
+            if (obs::parsePromHistogram(
+                    text, "ibs_serve_sweep_latency_us", latency) &&
+                latency.count > 0) {
+                const bool ok50 = comparePercentile(
+                    "p50:", p50, latency.quantile(0.50));
+                const bool ok99 = comparePercentile(
+                    "p99:", p99, latency.quantile(0.99));
+                check_ok = ok50 && ok99;
+                if (!check_ok && opt.check)
+                    std::fprintf(
+                        stderr,
+                        "loadgen: server-side sweep latency "
+                        "percentiles diverge from client-side by "
+                        "more than 2x (see the p50:/p99: lines "
+                        "above); the server histogram and the "
+                        "client clock disagree about the same "
+                        "requests\n");
+            } else {
+                check_ok = false;
+                if (opt.check)
+                    std::fprintf(
+                        stderr,
+                        "loadgen: server metrics carry no "
+                        "ibs_serve_sweep_latency_us histogram — "
+                        "cannot cross-check percentiles\n");
+            }
+        } catch (const std::exception &e) {
+            check_ok = false;
+            if (opt.check)
+                std::fprintf(stderr,
+                             "loadgen: metrics scrape failed: %s\n",
+                             e.what());
+        }
+    }
+
     if (opt.shutdown) {
         try {
             serve::Client client(opt.port);
@@ -208,5 +299,7 @@ main(int argc, char **argv)
                          e.what());
         }
     }
-    return failed == 0 ? 0 : 1;
+    if (failed != 0)
+        return 1;
+    return opt.check && !check_ok ? 1 : 0;
 }

@@ -22,9 +22,25 @@
  *   --trace <file...>
  *     Validate Perfetto/chrome traceEvents documents as written by
  *     obs::TraceEventSink: a top-level object with a traceEvents
- *     array (possibly empty) of events, each with a string name, a
- *     "ph" of "X" (needs numeric ts/dur) or "C" (needs numeric ts
- *     and args.value), and numeric pid/tid.
+ *     array (possibly empty) of events, each with a string name,
+ *     numeric ts/pid/tid, and a "ph" of "X" (needs numeric dur),
+ *     "C" (needs numeric args.value), "b"/"e" (async nestable:
+ *     needs a string cat and a numeric id), or "s"/"t"/"f" (flow:
+ *     needs a numeric id).
+ *
+ *   --trace-flow <min_tids> <file...>
+ *     Everything --trace checks, plus the request-tracing shape the
+ *     server promises under IBS_OBS_TRACE: every async begin has a
+ *     matching end (by cat+id+name), every flow id has a start and
+ *     an end, at least one async span exists, and at least one flow
+ *     id touches >= <min_tids> distinct tids (the request really
+ *     crossed threads).
+ *
+ *   --prom <file...>
+ *     Validate Prometheus text exposition documents as served by
+ *     the sweep server's `metrics` request (obs::validatePromText):
+ *     line grammar, TYPE-before-samples, histogram bucket
+ *     monotonicity and the mandatory le="+Inf" == _count.
  *
  *   --compare-rate <report> <prefix_a> <prefix_b> <min_ratio>
  *     Assert the rate counter of the first cell whose workload name
@@ -55,9 +71,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
+#include "obs/prom.h"
 #include "stats/report.h"
 
 namespace {
@@ -228,6 +247,11 @@ validateTraceEvent(const Json &event, size_t index,
             return fail(path, where + ": counter without args");
         return requireNumber(*args, "value", path, where + ".args");
     }
+    if (ph == "b" || ph == "e")
+        return requireString(event, "cat", path, where) &&
+            requireNumber(event, "id", path, where);
+    if (ph == "s" || ph == "t" || ph == "f")
+        return requireNumber(event, "id", path, where);
     return fail(path, where + ": unknown ph \"" + ph + "\"");
 }
 
@@ -248,6 +272,86 @@ validateTraceFile(const std::string &path)
     }
     std::printf("%s: ok (%zu trace events)\n", path.c_str(),
                 events->size());
+    return true;
+}
+
+/** --trace plus the request-tracing shape: balanced async spans,
+ *  balanced flows, and at least one flow crossing min_tids tids. */
+bool
+validateTraceFlow(const std::string &path, long min_tids)
+{
+    if (!validateTraceFile(path))
+        return false;
+    Json doc;
+    if (!loadJson(path, doc))
+        return false;
+    const Json &events = *doc.find("traceEvents");
+
+    // Async spans match by (cat, id, name); count begins vs ends.
+    std::map<std::string, long> async_open;
+    std::map<double, std::set<double>> flow_tids; // id -> tids
+    std::map<double, int> flow_starts, flow_ends;
+    size_t async_total = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        const std::string &ph = e.at("ph").asString();
+        if (ph == "b" || ph == "e") {
+            const std::string key = e.at("cat").asString() + "\x1f" +
+                std::to_string(e.at("id").asNumber()) + "\x1f" +
+                e.at("name").asString();
+            async_open[key] += ph == "b" ? 1 : -1;
+            if (ph == "b")
+                ++async_total;
+        } else if (ph == "s" || ph == "t" || ph == "f") {
+            const double id = e.at("id").asNumber();
+            flow_tids[id].insert(e.at("tid").asNumber());
+            if (ph == "s")
+                ++flow_starts[id];
+            if (ph == "f")
+                ++flow_ends[id];
+        }
+    }
+    for (const auto &[key, open] : async_open) {
+        if (open != 0)
+            return fail(path, "unbalanced async span (name '" +
+                                  key.substr(key.rfind('\x1f') + 1) +
+                                  "': " + std::to_string(open) +
+                                  " more begins than ends)");
+    }
+    if (async_total == 0)
+        return fail(path, "no async spans (ph \"b\") in trace");
+    size_t crossing = 0;
+    for (const auto &[id, tids] : flow_tids) {
+        if (flow_starts[id] == 0 || flow_ends[id] == 0)
+            return fail(path, "flow id " + std::to_string(id) +
+                                  " lacks a start or an end event");
+        if (tids.size() >= static_cast<size_t>(min_tids))
+            ++crossing;
+    }
+    if (crossing == 0)
+        return fail(path, "no flow spans >= " +
+                              std::to_string(min_tids) +
+                              " distinct tids");
+    std::printf("%s: flow ok (%zu async spans, %zu/%zu flows >= %ld "
+                "tids)\n",
+                path.c_str(), async_total, crossing, flow_tids.size(),
+                min_tids);
+    return true;
+}
+
+/** --prom: Prometheus exposition well-formedness. */
+bool
+validatePromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(path, "cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!ibs::obs::validatePromText(buffer.str(), error))
+        return fail(path, error);
+    std::printf("%s: prom ok\n", path.c_str());
     return true;
 }
 
@@ -335,11 +439,14 @@ usage(const char *argv0)
                  "usage: %s [--min-schema <n>] BENCH_<name>.json "
                  "[more.json...]\n"
                  "       %s --trace <trace.json> [more.json...]\n"
+                 "       %s --trace-flow <min_tids> <trace.json> "
+                 "[more.json...]\n"
+                 "       %s --prom <metrics.txt> [more.txt...]\n"
                  "       %s --compare-rate <report.json> <prefix_a> "
                  "<prefix_b> <min_ratio>\n"
                  "       %s --compare-rate-warn <report.json> "
                  "<prefix_a> <prefix_b> <min_ratio>\n",
-                 argv0, argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -357,6 +464,28 @@ main(int argc, char **argv)
         bool ok = true;
         for (int i = 2; i < argc; ++i)
             ok = validateTraceFile(argv[i]) && ok;
+        return ok ? 0 : 1;
+    }
+
+    if (std::strcmp(argv[1], "--trace-flow") == 0) {
+        if (argc < 4)
+            return usage(argv[0]);
+        char *end = nullptr;
+        const long min_tids = std::strtol(argv[2], &end, 10);
+        if (end == argv[2] || *end != '\0' || min_tids < 1)
+            return usage(argv[0]);
+        bool ok = true;
+        for (int i = 3; i < argc; ++i)
+            ok = validateTraceFlow(argv[i], min_tids) && ok;
+        return ok ? 0 : 1;
+    }
+
+    if (std::strcmp(argv[1], "--prom") == 0) {
+        if (argc < 3)
+            return usage(argv[0]);
+        bool ok = true;
+        for (int i = 2; i < argc; ++i)
+            ok = validatePromFile(argv[i]) && ok;
         return ok ? 0 : 1;
     }
 
