@@ -101,4 +101,16 @@ if [ "$bench_name" = "microbench" ]; then
         "BM_SimdProbe/simd:1" "BM_SimdProbe/simd:0" 1.0
 fi
 
+# Warn-only: the collapsed sweep executor should beat the per-cell
+# path by >=2x on the fig4 grid shape (eight of nine configs share
+# one L1 capture + LRU stack pass per workload; see EXPERIMENTS.md
+# "Sweep collapsing"). Exactness is gated separately and hard — the
+# "sweep_collapse_stdout_diff" ctest — so this only watches the
+# speed.
+if [ "$bench_name" = "sweep_collapse" ]; then
+    "$validator" --compare-rate-warn "$report" \
+        "BM_CollapsedVsPerCell/collapsed:1" \
+        "BM_CollapsedVsPerCell/collapsed:0" 2.0
+fi
+
 echo "PASS: ${bench_name} report parses and carries the required keys"

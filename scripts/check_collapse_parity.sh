@@ -1,0 +1,58 @@
+#!/bin/sh
+# Differential stdout check of sweep collapsing: run each given bench
+# twice at a small trace length — once with the default collapsing
+# sweep executor (configs sharing an L1 front end derive their stats
+# from one captured miss stream, sim/collapse.h) and once with
+# IBS_SWEEP_COLLAPSE=0 forcing every cell through a full simulation —
+# and fail unless the text outputs are byte-identical. Collapsing is
+# an exact transformation (the derived FetchStats must match the
+# simulated ones field for field); any stdout difference means the
+# miss-stream replay or the LRU stack pass disagrees with the real
+# Cache.
+#
+# Usage: check_collapse_parity.sh <instructions> <bench-binary> [more...]
+#
+# Wired in as the ctest "sweep_collapse_stdout_diff"
+# (tests/CMakeLists.txt); also runnable by hand against every bench:
+#
+#   scripts/check_collapse_parity.sh 50000 build/bench/table*  \
+#       build/bench/fig* build/bench/ablation_*
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <instructions> <bench-binary> [more...]" >&2
+    exit 2
+fi
+
+instr="$1"
+shift
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/ibs_collapse_parity.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+status=0
+for bench in "$@"; do
+    name=$(basename "$bench")
+    # JSON reports land in the scratch dir so the build tree stays
+    # clean; only stdout is compared (wall-clock timings and the
+    # timing.collapsed flags in the JSON legitimately differ).
+    IBS_BENCH_INSTR="$instr" IBS_BENCH_JSON_DIR="$workdir" \
+        IBS_SWEEP_COLLAPSE=1 \
+        "$bench" > "$workdir/$name.collapsed.txt"
+    IBS_BENCH_INSTR="$instr" IBS_BENCH_JSON_DIR="$workdir" \
+        IBS_SWEEP_COLLAPSE=0 \
+        "$bench" > "$workdir/$name.percell.txt"
+    if diff -u "$workdir/$name.collapsed.txt" \
+            "$workdir/$name.percell.txt" > /dev/null; then
+        echo "PASS: $name collapsed stdout == per-cell stdout" \
+             "(IBS_BENCH_INSTR=$instr)"
+    else
+        echo "FAIL: $name stdout differs between IBS_SWEEP_COLLAPSE=1" \
+             "and IBS_SWEEP_COLLAPSE=0 runs:" >&2
+        diff -u "$workdir/$name.collapsed.txt" \
+            "$workdir/$name.percell.txt" >&2 || true
+        status=1
+    fi
+done
+exit $status

@@ -94,6 +94,9 @@ FetchEngine::fetch(uint64_t vaddr)
     if (l1_.access(vaddr))
         return;
     ++stats_.l1Misses;
+    if (missCapture_)
+        missCapture_->append(config_.l1.lineAddr(vaddr),
+                             stats_.instructions - 1);
 
     if (config_.pipelined)
         missPipelined(vaddr);

@@ -35,6 +35,7 @@
 #include "core/fetch_config.h"
 #include "core/fetch_stats.h"
 #include "mem/timing.h"
+#include "trace/miss_trace.h"
 #include "trace/run_trace.h"
 #include "trace/stream.h"
 
@@ -82,6 +83,30 @@ class FetchEngine
      * after the replay loop.
      */
     void noteStreamRuns(uint64_t runs) { streamRuns_ += runs; }
+
+    /**
+     * Install a miss-stream capture sink (nullptr detaches). While
+     * attached, every L1 miss appends its line address and
+     * instruction index to `sink`, in miss order — the L2 reference
+     * stream of this run (trace/miss_trace.h). The check sits on the
+     * miss path only: the scalar hit path and the batched fetchRun
+     * fast path (which retires hits exclusively) are untouched when
+     * capture is off, so the hook costs nothing in ordinary sweeps.
+     * Used by sim/collapse.h to run a group's shared L1 front end
+     * once. The sink must outlive the capture run; reset() does not
+     * detach it.
+     */
+    void setMissCapture(MissTrace *sink) { missCapture_ = sink; }
+
+    /** fetchRun() path counters (observability; see publishCounters).
+     *  sim/collapse.h reads them to synthesize the registry counters
+     *  a derived sweep cell would have published. */
+    uint64_t batchedRuns() const { return batchedRuns_; }
+    uint64_t batchFallbacks() const { return batchFallbacks_; }
+
+    /** The L1 cache (read-only; collapse capture reads its hit/miss
+     *  counters for the same counter synthesis). */
+    const Cache &l1Cache() const { return l1_; }
 
     /**
      * Touch the L2 with a data reference (unified-L2 mode): the data
@@ -147,6 +172,8 @@ class FetchEngine
 
     uint64_t cycle_ = 0;
     FetchStats stats_;
+    /** Miss-stream capture sink; nullptr (the default) disables. */
+    MissTrace *missCapture_ = nullptr;
     /** Prefetches dropped before use: in-flight cancellations on a
      *  double miss plus queued entries superseded by a demand fetch.
      *  Observability-only — not part of FetchStats or any table. */

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,6 +25,7 @@
 #include "obs/trace_sink.h"
 #include "serve/catalog.h"
 #include "sim/bench_report.h"
+#include "sim/collapse.h"
 #include "sim/parallel.h"
 #include "sim/sweep.h"
 #include "trace/trace_cache.h"
@@ -559,51 +561,95 @@ Server::handleSweep(int fd, const Json &request,
     }
 
     // Shard cells over the shared pool; stream each one the moment
-    // it completes. A failed socket write aborts the whole loop via
-    // the pool's exception drain.
+    // it completes. Configs differing only in L2 geometry collapse
+    // onto one capture-plus-replay task per workload
+    // (sim/collapse.h), exactly as runSweep does; the remaining
+    // configs run the per-cell path. A failed socket write aborts
+    // the whole loop via the pool's exception drain.
     const size_t workloads = sweep.workloads.size();
+    std::vector<FetchConfig> grid;
+    grid.reserve(sweep.configs.size());
+    for (const FetchConfig *config : sweep.configs)
+        grid.push_back(*config);
+    CollapsePlan plan;
+    if (sweepCollapseEnabled()) {
+        plan = planCollapse(grid);
+    } else {
+        plan.singles.resize(grid.size());
+        std::iota(plan.singles.begin(), plan.singles.end(),
+                  size_t{0});
+    }
+    publishCollapsePlan(plan, workloads);
+
+    // One cell frame, identical in shape whichever path computed it.
+    const auto emit_cell = [&](size_t c, size_t w,
+                               const FetchStats &stats,
+                               double seconds) {
+        WallTimer serialize_timer;
+        Json cell =
+            Json::object()
+                .set("type", Json::string("cell"))
+                .set("config",
+                     Json::string(sweep.configNames[c]))
+                .set("config_index", Json::number(c))
+                .set("workload",
+                     Json::string(sweep.workloads[w].name))
+                .set("workload_index", Json::number(w))
+                .set("stats", toJson(stats))
+                .set("timing",
+                     timingJson(seconds, stats.instructions))
+                .set("req_id", Json::string(telemetry.id));
+        {
+            std::lock_guard<std::mutex> lock(write_mutex);
+            if (!writeFrame(fd, cell, &telemetry.bytesOut))
+                throw std::runtime_error(
+                    "client connection lost mid-sweep");
+        }
+        if (registry.enabled()) {
+            registry.observe(
+                "serve.sweep.simulate_us",
+                static_cast<uint64_t>(seconds * 1e6));
+            registry.observe(
+                "serve.sweep.serialize_us",
+                static_cast<uint64_t>(
+                    serialize_timer.seconds() * 1e6));
+        }
+        cellsDone_.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    const size_t single_tasks = plan.singles.size() * workloads;
     try {
         parallelFor(
-            cells,
+            single_tasks + plan.groups.size() * workloads,
             config_.threads ? config_.threads : sweepThreads(),
             [&](size_t i) {
-                const size_t c = i / workloads;
-                const size_t w = i % workloads;
-                WallTimer cell_timer;
-                const FetchStats stats =
-                    suite->runOne(w, *sweep.configs[c]);
-                const double seconds = cell_timer.seconds();
-                telemetry.step(); // Flow: this cell's pool thread.
-                WallTimer serialize_timer;
-                Json cell =
-                    Json::object()
-                        .set("type", Json::string("cell"))
-                        .set("config",
-                             Json::string(sweep.configNames[c]))
-                        .set("config_index", Json::number(c))
-                        .set("workload",
-                             Json::string(sweep.workloads[w].name))
-                        .set("workload_index", Json::number(w))
-                        .set("stats", toJson(stats))
-                        .set("timing",
-                             timingJson(seconds, stats.instructions))
-                        .set("req_id", Json::string(telemetry.id));
-                {
-                    std::lock_guard<std::mutex> lock(write_mutex);
-                    if (!writeFrame(fd, cell, &telemetry.bytesOut))
-                        throw std::runtime_error(
-                            "client connection lost mid-sweep");
+                if (i < single_tasks) {
+                    const size_t c = plan.singles[i / workloads];
+                    const size_t w = i % workloads;
+                    WallTimer cell_timer;
+                    const FetchStats stats =
+                        suite->runOne(w, grid[c]);
+                    const double seconds = cell_timer.seconds();
+                    telemetry.step(); // Flow: this cell's thread.
+                    emit_cell(c, w, stats, seconds);
+                    return;
                 }
+                const size_t g = (i - single_tasks) / workloads;
+                const size_t w = (i - single_tasks) % workloads;
+                WallTimer group_timer;
+                const std::vector<CollapsedCell> group_cells =
+                    runCollapsedGroup(*suite, w, grid,
+                                      plan.groups[g]);
                 if (registry.enabled()) {
                     registry.observe(
-                        "serve.sweep.simulate_us",
-                        static_cast<uint64_t>(seconds * 1e6));
-                    registry.observe(
-                        "serve.sweep.serialize_us",
+                        "serve.sweep.collapse_us",
                         static_cast<uint64_t>(
-                            serialize_timer.seconds() * 1e6));
+                            group_timer.seconds() * 1e6));
                 }
-                cellsDone_.fetch_add(1, std::memory_order_relaxed);
+                telemetry.step(); // Flow: this group's pool thread.
+                for (const CollapsedCell &cell : group_cells)
+                    emit_cell(cell.config, w, cell.stats,
+                              cell.wallSeconds);
             });
     } catch (const std::exception &e) {
         obs::log(obs::LogLevel::Warn, "serve: sweep aborted: %s",

@@ -126,7 +126,12 @@ timingJson(double wall_seconds, uint64_t instructions)
 Json
 timingJson(const CellTiming &timing)
 {
-    return timingJson(timing.wallSeconds, timing.instructions);
+    // Sweep-executor cells additionally say whether they were derived
+    // from a collapsed group's shared miss stream (sim/collapse.h).
+    // The two-argument overload — used by the server's cell frames
+    // and by bench-specific custom cells — stays without the flag.
+    return timingJson(timing.wallSeconds, timing.instructions)
+        .set("collapsed", Json::boolean(timing.collapsed));
 }
 
 BenchReport::BenchReport(std::string bench_name)

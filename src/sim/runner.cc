@@ -247,13 +247,90 @@ SuiteTraces::retainedTraceBytes() const
         if (flatBuilt(i))
             bytes += traces_[i].size() * sizeof(uint64_t);
     }
-    std::lock_guard<std::mutex> lock(runTraceMutex_);
-    for (const auto &kv : runTraces_) {
-        const RunEntry &entry = *kv.second;
+    {
+        std::lock_guard<std::mutex> lock(runTraceMutex_);
+        for (const auto &kv : runTraces_) {
+            const RunEntry &entry = *kv.second;
+            if (entry.built.load(std::memory_order_acquire))
+                bytes += entry.trace.bytes();
+        }
+    }
+    std::lock_guard<std::mutex> lock(missStreamMutex_);
+    for (const auto &kv : missStreams_) {
+        const MissEntry &entry = *kv.second;
         if (entry.built.load(std::memory_order_acquire))
-            bytes += entry.trace.bytes();
+            bytes += entry.stream.bytes();
     }
     return bytes;
+}
+
+const MissStream &
+SuiteTraces::missStream(size_t i, const FetchConfig &config) const
+{
+    // The capture depends only on the L1 side of the config (the
+    // perfect L2 never feeds back) and on which replay path fed the
+    // engine — IBS_FETCH_SCALAR changes the observability counters
+    // (batched_runs et al.), so it is part of the key.
+    // CacheConfig::toString omits the replacement policy, which does
+    // change the miss stream — spell the key out field by field.
+    const bool scalar = scalarFetchForced();
+    std::string key = std::to_string(config.l1.sizeBytes) + "/" +
+        std::to_string(config.l1.assoc) + "/" +
+        std::to_string(config.l1.lineBytes) + "/" +
+        replacementName(config.l1.replacement) + "|" +
+        std::to_string(config.l1Fill.latencyCycles) + ":" +
+        std::to_string(config.l1Fill.bytesPerCycle);
+    if (scalar)
+        key += "|scalar";
+
+    MissEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(missStreamMutex_);
+        std::unique_ptr<MissEntry> &slot =
+            missStreams_[{i, std::move(key)}];
+        if (!slot)
+            slot = std::make_unique<MissEntry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        obs::ScopedTimer timer("capture " + names_[i] + " " +
+                                   config.l1.toString(),
+                               "collapse");
+        FetchConfig capture = config;
+        capture.perfectL2 = true;
+        FetchEngine engine(capture);
+        MissStream &ms = entry->stream;
+        ms.trace.lineBytes = capture.l1.lineBytes;
+        engine.setMissCapture(&ms.trace);
+        if (scalar) {
+            for (uint64_t addr : addresses(i))
+                engine.fetch(addr);
+        } else {
+            const RunTrace &runs =
+                runTrace(i, capture.l1.lineBytes);
+            for (const FetchRun &run : runs.runs)
+                engine.fetchRun(run);
+            ms.streamedReplay = streaming_;
+            ms.runsReplayed = runs.runs.size();
+        }
+        engine.setMissCapture(nullptr);
+        ms.trace.runs.shrink_to_fit();
+        ms.l1Stats = engine.stats();
+        ms.l1Accesses = engine.l1Cache().accesses();
+        ms.l1Hits = engine.l1Cache().hits();
+        ms.l1Evictions = engine.l1Cache().evictions();
+        ms.batchedRuns = engine.batchedRuns();
+        ms.batchFallbacks = engine.batchFallbacks();
+        entry->built.store(true, std::memory_order_release);
+    });
+    return entry->stream;
+}
+
+size_t
+SuiteTraces::missStreamsBuilt() const
+{
+    std::lock_guard<std::mutex> lock(missStreamMutex_);
+    return missStreams_.size();
 }
 
 size_t

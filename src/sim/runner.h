@@ -23,12 +23,42 @@
 
 #include "core/fetch_config.h"
 #include "core/fetch_engine.h"
+#include "trace/miss_trace.h"
 #include "trace/run_trace.h"
 #include "workload/ibs.h"
 #include "workload/model.h"
 #include "workload/run_stream.h"
 
 namespace ibs {
+
+/**
+ * Captured result of running one workload through an L1 front end
+ * backed by a perfect L2: the run-encoded L1-refill reference stream
+ * plus everything needed to derive a full per-cell result for any
+ * L2 variant sharing that front end (sim/collapse.h). The stored
+ * counters mirror exactly what FetchEngine::publishCounters would
+ * have published for the L1 side, so derived cells can synthesize a
+ * registry publication bit-identical to the per-cell path's.
+ */
+struct MissStream
+{
+    MissTrace trace;   ///< Ordered L1-miss line addresses.
+    FetchStats l1Stats; ///< Capture-run stats (perfect-L2 totals).
+    uint64_t l1Accesses = 0; ///< L1 cache counters of the capture run.
+    uint64_t l1Hits = 0;
+    uint64_t l1Evictions = 0;
+    uint64_t batchedRuns = 0;    ///< fetchRun path counters; L1-only
+    uint64_t batchFallbacks = 0; ///< decisions, so variant-invariant.
+    uint64_t runsReplayed = 0;   ///< Runs fed to the capture engine.
+    bool streamedReplay = false; ///< Runs came from a streaming memo.
+
+    /** Retained heap bytes (what serve/memo.h charges). */
+    uint64_t
+    bytes() const
+    {
+        return sizeof(MissStream) + trace.bytes();
+    }
+};
 
 /**
  * Parse a positive integer from environment variable `name`.
@@ -166,10 +196,11 @@ class SuiteTraces
 
     /**
      * Bytes of trace data currently retained: flat address vectors
-     * actually built plus finished run-trace memo entries. This is
-     * what a byte-budgeted store (serve/memo.h) charges for the
-     * suite; in streaming mode it is the compressed footprint alone,
-     * typically several times smaller than the flat traces.
+     * actually built plus finished run-trace memo entries plus
+     * captured miss streams (missStream). This is what a
+     * byte-budgeted store (serve/memo.h) charges for the suite; in
+     * streaming mode it is the compressed footprint alone, typically
+     * several times smaller than the flat traces.
      */
     uint64_t retainedTraceBytes() const;
 
@@ -190,6 +221,26 @@ class SuiteTraces
     /** Number of distinct (workload, lineBytes) run-traces built so
      *  far (diagnostics: how well the memo amortizes). */
     size_t runTracesBuilt() const;
+
+    /**
+     * Miss stream of workload `i` under `config`'s L1 front end:
+     * the capture run replays the workload through a FetchEngine
+     * with perfectL2 forced on (L1-only, so one capture serves every
+     * L2 variant) and records each L1 miss's line address
+     * (trace/miss_trace.h). Memoized per (workload, L1 geometry +
+     * L1 fill timing) with the same build-exactly-once discipline as
+     * runTrace — warm server sweeps skip the L1 run entirely — and
+     * charged by retainedTraceBytes() so serve/memo.h budgets it.
+     * The replay honours IBS_FETCH_SCALAR (keyed on it, so flipping
+     * the hatch cannot serve counters from the other path's run).
+     * Only sim/collapse.h should need this. The returned reference
+     * stays valid for the lifetime of this SuiteTraces.
+     */
+    const MissStream &missStream(size_t i,
+                                 const FetchConfig &config) const;
+
+    /** Number of distinct miss streams captured so far. */
+    size_t missStreamsBuilt() const;
 
     /** Run one workload's trace through a configuration. */
     FetchStats runOne(size_t i, const FetchConfig &config) const;
@@ -214,6 +265,14 @@ class SuiteTraces
         std::once_flag once;
         std::atomic<bool> built{false};
         RunTrace trace;
+    };
+
+    /** Miss-stream memo slot; same discipline as RunEntry. */
+    struct MissEntry
+    {
+        std::once_flag once;
+        std::atomic<bool> built{false};
+        MissStream stream;
     };
 
     /** Lazy flat-trace slot (streaming mode builds on demand). */
@@ -254,6 +313,13 @@ class SuiteTraces
     mutable std::map<std::pair<size_t, uint32_t>,
                      std::unique_ptr<RunEntry>>
         runTraces_;
+
+    // (workload, L1-side key) -> lazily captured miss stream; same
+    // stable-address + once_flag discipline as runTraces_.
+    mutable std::mutex missStreamMutex_;
+    mutable std::map<std::pair<size_t, std::string>,
+                     std::unique_ptr<MissEntry>>
+        missStreams_;
 };
 
 } // namespace ibs

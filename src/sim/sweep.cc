@@ -8,8 +8,11 @@
 #include <string>
 #include <thread>
 
+#include <numeric>
+
 #include "obs/progress.h"
 #include "obs/timer.h"
+#include "sim/collapse.h"
 #include "sim/parallel.h"
 
 namespace ibs {
@@ -39,24 +42,60 @@ runSweep(const SuiteTraces &suite, const std::vector<FetchConfig> &configs,
     if (threads == 0)
         threads = sweepThreads();
 
+    // Collapse configs that share an L1 front end (sim/collapse.h);
+    // with the hatch off every config is a per-cell single and the
+    // loop below degenerates to the old flat schedule.
+    CollapsePlan plan;
+    if (sweepCollapseEnabled()) {
+        plan = planCollapse(configs);
+    } else {
+        plan.singles.resize(configs.size());
+        std::iota(plan.singles.begin(), plan.singles.end(), size_t{0});
+    }
+    publishCollapsePlan(plan, workloads);
+
     obs::SweepProgress progress("sweep", total);
 
-    // Each cell writes only its own pre-sized slot, so the shared
-    // pool needs no synchronization on the results (see
-    // sim/parallel.h for the scheduling and determinism contract).
-    parallelFor(total, threads, [&](size_t i) {
-        const size_t c = i / workloads;
-        const size_t w = i % workloads;
+    // Task space: one item per (single config, workload) cell plus
+    // one per (group, workload) — a group's capture and derivations
+    // run inside one task, so no task depends on another. Each task
+    // writes only its own pre-sized result slots, so the shared pool
+    // needs no synchronization on the results (see sim/parallel.h
+    // for the scheduling and determinism contract).
+    const size_t single_tasks = plan.singles.size() * workloads;
+    const size_t group_tasks = plan.groups.size() * workloads;
+    parallelFor(single_tasks + group_tasks, threads, [&](size_t i) {
+        if (i < single_tasks) {
+            const size_t c = plan.singles[i / workloads];
+            const size_t w = i % workloads;
+            obs::ScopedTimer timer(
+                "cell " + std::to_string(c) + ":" + suite.name(w),
+                "sweep");
+            const FetchStats stats = suite.runOne(w, configs[c]);
+            timer.stop();
+            result.cell(c, w) = stats;
+            CellTiming &timing = result.timing(c, w);
+            timing.wallSeconds = timer.seconds();
+            timing.instructions = stats.instructions;
+            progress.cellDone(stats.instructions);
+            return;
+        }
+        const size_t g = (i - single_tasks) / workloads;
+        const size_t w = (i - single_tasks) % workloads;
         obs::ScopedTimer timer(
-            "cell " + std::to_string(c) + ":" + suite.name(w),
+            "group " + std::to_string(g) + ":" + suite.name(w),
             "sweep");
-        const FetchStats stats = suite.runOne(w, configs[c]);
+        const std::vector<CollapsedCell> cells =
+            runCollapsedGroup(suite, w, configs, plan.groups[g]);
         timer.stop();
-        result.cell(c, w) = stats;
-        CellTiming &timing = result.timing(c, w);
-        timing.wallSeconds = timer.seconds();
-        timing.instructions = stats.instructions;
-        progress.cellDone(stats.instructions);
+        for (const CollapsedCell &cell : cells) {
+            result.cell(cell.config, w) = cell.stats;
+            CellTiming &timing = result.timing(cell.config, w);
+            timing.wallSeconds = cell.wallSeconds;
+            timing.instructions = cell.stats.instructions;
+            timing.collapsed = !cell.leader;
+            progress.cellDone(cell.stats.instructions);
+        }
     });
     return result;
 }

@@ -48,6 +48,11 @@ struct CellTiming
 {
     double wallSeconds = 0.0;  ///< Simulation time of this cell.
     uint64_t instructions = 0; ///< Instructions the cell simulated.
+    /** Cell derived from a group leader's shared miss stream
+     *  (sim/collapse.h) rather than simulated in full. Leaders and
+     *  per-cell fallbacks report false. Surfaced as "collapsed" in
+     *  the schema-v2 bench reports. */
+    bool collapsed = false;
 
     /** Sweep throughput (0 when the cell ran too fast to time). */
     double
@@ -136,6 +141,16 @@ class SweepResult
 /**
  * Run every (config × workload) cell of the grid, in parallel when
  * more than one worker is available.
+ *
+ * Cells whose configs differ only in L2 geometry are collapsed onto
+ * a shared L1 capture run plus per-variant replay of its miss stream
+ * (sim/collapse.h) — one pool task per (group, workload), with the
+ * leader's capture and the dependent derivations sequenced inside
+ * the task, so the producer/consumer dependency never crosses
+ * workers. Per-cell stats stay bit-identical to runOne; set
+ * IBS_SWEEP_COLLAPSE=0 to force the flat per-cell path. Publishes
+ * sim.sweep.{groups,collapsed_cells,fallback_cells} when the obs
+ * registry is enabled.
  *
  * @param suite immutable traces, shared const across workers
  * @param configs grid points (validated before any thread starts)
